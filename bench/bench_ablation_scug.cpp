@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation — ScUG size (Section 4.5).
+ *
+ * The full design wants 8 physical URAMs per ScUG (1024 total, more
+ * than the U55c has); the shipped design folds to 4 (512 URAMs) and the
+ * theoretical minimum is 1 per PE. Folding is performance-neutral but
+ * shrinks the rows a single pass can cover, forcing more passes for
+ * tall matrices.
+ */
+
+#include <cstdio>
+
+#include "arch/resources.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "sparse/generators.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Ablation — ScUG size (URAM folding)",
+                       "Section 4.5, Eq. 3");
+
+    // A tall matrix shows the pass-count effect: 400 K rows needs 4
+    // passes at ScUG=1 (131 K rows/pass) but a single pass at ScUG=4.
+    Rng gen_rng(0x5C06);
+    const sparse::CsrMatrix a =
+        sparse::erdosRenyi(400000, 8192, 2000000, gen_rng);
+    Rng rng(0x5C07);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+
+    TextTable t;
+    t.setHeader({"ScUG size", "URAMs", "fits U55c", "rows/lane/pass",
+                 "passes (tall)", "latency (ms)", "underutil"});
+
+    for (unsigned scug : {8u, 4u, 2u, 1u}) {
+        arch::ArchConfig cfg;
+        cfg.scugSize = scug;
+        cfg.sched.rowsPerLanePerPass = cfg.capacityRowsPerLane();
+        const arch::FpgaResources res = arch::chasonResources(cfg);
+
+        core::Engine engine(core::Engine::Kind::Chason, cfg);
+        const sched::Schedule sch = engine.schedule(a);
+        const core::SpmvReport r = engine.runScheduled(sch, a, x, "tall");
+
+        t.addRow({std::to_string(scug), std::to_string(res.uram),
+                  res.fitsU55c() ? "yes" : "no",
+                  std::to_string(cfg.sched.rowsPerLanePerPass),
+                  std::to_string(sch.passes()),
+                  TextTable::num(r.latencyMs, 3),
+                  TextTable::pct(r.underutilizationPercent, 1)});
+    }
+    t.print();
+
+    std::printf("\npaper: 1024 URAMs (ScUG=8) exceed the 960 available; "
+                "the shipped ScUG=4 uses 512 (52%%) with no performance "
+                "loss, only a smaller single-pass matrix size\n");
+    return 0;
+}

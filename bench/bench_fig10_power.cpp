@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 10 — power distribution of Chasoň on the U55c.
+ */
+
+#include <cstdio>
+
+#include "arch/power.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Fig. 10 — Chasoň power distribution",
+                       "Figure 10 (Section 5.1)");
+
+    const arch::PowerBreakdown p = arch::chasonEstimatedPower();
+    TextTable t;
+    t.setHeader({"component", "watts", "share"});
+    auto row = [&t, &p](const char *name, double w) {
+        t.addRow({name, TextTable::num(w, 3),
+                  TextTable::pct(100.0 * w / p.totalW(), 1)});
+    };
+    row("static", p.staticW);
+    row("clocks", p.clocksW);
+    row("signals", p.signalsW);
+    row("logic", p.logicW);
+    row("BRAM", p.bramW);
+    row("URAM", p.uramW);
+    row("DSP", p.dspW);
+    row("GTY", p.gtyW);
+    row("HBM", p.hbmW);
+    t.addRow({"total", TextTable::num(p.totalW(), 3), "100.0%"});
+    t.print();
+
+    std::printf("\npaper: 48.715 W estimated total; logic only ~8%%, "
+                "BRAM ~3%%, URAM ~4%%, HBM dominates\n");
+    std::printf("measured during SpMV (xbutil): Chason %.0f W, Serpens "
+                "%.0f W\n",
+                arch::chasonMeasuredPowerW(),
+                arch::serpensMeasuredPowerW());
+
+    // Scaled estimate for the Serpens design point (223 MHz).
+    const arch::PowerBreakdown s = arch::estimatePower(
+        arch::serpensResources(arch::ArchConfig{}), 223.0);
+    std::printf("model estimate at the Serpens design point: %.2f W "
+                "dynamic (%.2f W total)\n",
+                s.dynamicW(), s.totalW());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 12 — per-PEG PE underutilization distributions for the 20
+ * Table 2 matrices, Chasoň vs Serpens.
+ *
+ * For each matrix the figure plots a PDF over the 16 PEG
+ * underutilization values. We print, per matrix, the 16-value summary
+ * (min / mean / max and the KDE peak) for both architectures; the
+ * paper's qualitative claims are that Chasoň's values sit far left of
+ * Serpens' and its curves are wider (better adaptation to imbalance).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Fig. 12 — per-PEG underutilization PDFs",
+                       "Figure 12 (Section 6.1), matrices of Table 2");
+
+    TextTable t;
+    t.setHeader({"ID", "serpens min/mean/max", "chason min/mean/max",
+                 "serpens peak", "chason peak"});
+
+    for (const sparse::DatasetEntry &entry : sparse::table2()) {
+        const sparse::CsrMatrix a = entry.generate();
+        const auto s = bench::statsOf(a, core::Engine::Kind::Serpens)
+                           .perPegUnderutilization;
+        const auto c = bench::statsOf(a, core::Engine::Kind::Chason)
+                           .perPegUnderutilization;
+        SummaryStats ss, cs;
+        ss.add(s);
+        cs.add(c);
+        const KdePdf skde(s), ckde(c);
+        char sbuf[64], cbuf[64];
+        std::snprintf(sbuf, sizeof(sbuf), "%5.1f /%5.1f /%5.1f",
+                      ss.min(), ss.mean(), ss.max());
+        std::snprintf(cbuf, sizeof(cbuf), "%5.1f /%5.1f /%5.1f",
+                      cs.min(), cs.mean(), cs.max());
+        t.addRow({entry.id, sbuf, cbuf,
+                  TextTable::num(skde.peak(0.0, 100.0), 1),
+                  TextTable::num(ckde.peak(0.0, 100.0), 1)});
+    }
+    t.print();
+
+    // CHASON_VERBOSE=1 additionally dumps the per-matrix KDE series —
+    // the actual curves of the figure.
+    if (const char *env = std::getenv("CHASON_VERBOSE");
+        env && env[0] == '1') {
+        for (const sparse::DatasetEntry &entry : sparse::table2()) {
+            const sparse::CsrMatrix a = entry.generate();
+            std::printf("\n");
+            bench::printPdfSeries(
+                entry.id + "/serpens",
+                bench::statsOf(a, core::Engine::Kind::Serpens)
+                    .perPegUnderutilization,
+                0.0, 100.0);
+            bench::printPdfSeries(
+                entry.id + "/chason",
+                bench::statsOf(a, core::Engine::Kind::Chason)
+                    .perPegUnderutilization,
+                0.0, 100.0);
+        }
+    }
+
+    std::printf("\npaper: Chasoň's per-PEG underutilization is "
+                "significantly smaller for every matrix; Serpens' "
+                "curves cluster at 80-100%% for the SuiteSparse "
+                "optimization matrices\n");
+    return 0;
+}

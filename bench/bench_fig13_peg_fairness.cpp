@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 13 — average PE underutilization per PEG over the 20 Table 2
+ * matrices: are stalls distributed fairly across the 16 PEGs?
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Fig. 13 — average underutilization per PEG",
+                       "Figure 13 (Section 6.1), matrices of Table 2");
+
+    constexpr unsigned kPegs = 16;
+    std::vector<double> serpens_sum(kPegs, 0.0), chason_sum(kPegs, 0.0);
+    std::size_t count = 0;
+
+    for (const sparse::DatasetEntry &entry : sparse::table2()) {
+        const sparse::CsrMatrix a = entry.generate();
+        const auto s = bench::statsOf(a, core::Engine::Kind::Serpens)
+                           .perPegUnderutilization;
+        const auto c = bench::statsOf(a, core::Engine::Kind::Chason)
+                           .perPegUnderutilization;
+        for (unsigned p = 0; p < kPegs; ++p) {
+            serpens_sum[p] += s[p];
+            chason_sum[p] += c[p];
+        }
+        ++count;
+    }
+
+    TextTable t;
+    t.setHeader({"PEG", "serpens avg", "chason avg"});
+    std::vector<double> s_avg, c_avg;
+    for (unsigned p = 0; p < kPegs; ++p) {
+        s_avg.push_back(serpens_sum[p] / static_cast<double>(count));
+        c_avg.push_back(chason_sum[p] / static_cast<double>(count));
+        t.addRow({std::to_string(p), TextTable::pct(s_avg.back(), 1),
+                  TextTable::pct(c_avg.back(), 1)});
+    }
+    t.print();
+
+    SummaryStats ss, cs;
+    ss.add(s_avg);
+    cs.add(c_avg);
+    std::printf("\nserpens: mean %.1f%%, spread %.1f points "
+                "(paper: reaches ~95%%)\n",
+                ss.mean(), ss.max() - ss.min());
+    std::printf("chason:  mean %.1f%%, spread %.1f points "
+                "(paper: 60-65%%, evenly distributed)\n",
+                cs.mean(), cs.max() - cs.min());
+    return 0;
+}

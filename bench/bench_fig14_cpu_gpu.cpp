@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 14 — Chasoň vs GPU/CPU baselines over the 800-matrix corpus:
+ * latency speedup (top) and energy-efficiency gain (bottom).
+ *
+ * The GPU/CPU baselines are the calibrated analytical device models
+ * (see baselines/device_models.h and DESIGN.md for the substitution
+ * rationale). Paper anchors: geomean speedup ~4x over the RTX 4090,
+ * ~1.28x over the RTX A6000, <1 over the i9 (peaks 20.33x / 11.65x /
+ * 2.67x); peak energy-efficiency gains 34.72x / 19.48x / 14.61x; peak
+ * corpus throughput 30.23 GFLOPS (Chasoň) vs 19.83 / 44.20 / 23.88.
+ */
+
+#include <cstdio>
+
+#include "baselines/device_models.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Fig. 14 — speedup & energy efficiency vs GPU/CPU",
+                       "Figure 14 (Section 6.2.1)");
+
+    const auto corpus = sparse::sweepCorpus(bench::corpusSize());
+    std::printf("corpus: %zu matrices\n\n", corpus.size());
+
+    const baselines::AnalyticalSpmvModel devices[] = {
+        baselines::AnalyticalSpmvModel(baselines::DeviceSpec::rtx4090()),
+        baselines::AnalyticalSpmvModel(
+            baselines::DeviceSpec::rtxA6000Ada()),
+        baselines::AnalyticalSpmvModel(
+            baselines::DeviceSpec::corei9_11980hk()),
+    };
+    constexpr std::size_t kDevices = 3;
+
+    std::vector<double> speedups[kDevices], energy_gains[kDevices];
+    SummaryStats chason_gflops;
+    SummaryStats device_gflops[kDevices];
+
+    for (const sparse::SweepEntry &entry : corpus) {
+        const sparse::CsrMatrix a = entry.generate();
+        const core::SpmvReport chason =
+            bench::reportOf(a, core::Engine::Kind::Chason, entry.name);
+        chason_gflops.add(chason.gflops);
+        for (std::size_t d = 0; d < kDevices; ++d) {
+            const double dev_latency_ms = devices[d].latencyUs(a) / 1e3;
+            speedups[d].push_back(dev_latency_ms / chason.latencyMs);
+            energy_gains[d].push_back(chason.energyEfficiency /
+                                      devices[d].energyEfficiency(a));
+            device_gflops[d].add(devices[d].gflops(a));
+        }
+    }
+
+    TextTable t;
+    t.setHeader({"baseline", "geomean speedup", "peak speedup",
+                 "geomean energy gain", "peak energy gain",
+                 "peak GFLOPS", "paper (gm/peak speedup)"});
+    const char *paper[] = {"~4x / 20.33x", "~1.28x / 11.65x",
+                           "<1x / 2.67x"};
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        SummaryStats sp, eg;
+        sp.add(speedups[d]);
+        eg.add(energy_gains[d]);
+        t.addRow({devices[d].spec().name,
+                  TextTable::speedup(sp.geomean(), 2),
+                  TextTable::speedup(sp.max(), 2),
+                  TextTable::speedup(eg.geomean(), 2),
+                  TextTable::speedup(eg.max(), 2),
+                  TextTable::num(device_gflops[d].max(), 2), paper[d]});
+    }
+    t.print();
+
+    std::printf("\nChasoň peak corpus throughput: %.2f GFLOPS "
+                "(paper: 30.23)\n",
+                chason_gflops.max());
+    std::printf("device average powers: 70 W (4090), 65 W (A6000), "
+                "132 W (i9); Chasoň 39 W\n");
+    return 0;
+}

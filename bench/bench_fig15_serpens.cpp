@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 15 — speedup over Serpens and data-transfer reduction for the
+ * SuiteSparse and SNAP matrices of Table 2.
+ *
+ * Paper anchors: geomean speedup 6.1x (SuiteSparse) / 4.1x (SNAP), up
+ * to 8.4x; data-transfer reduction ~7x on average for both groups.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Fig. 15 — speedup & transfer reduction vs Serpens",
+                       "Figure 15 (Section 6.2.2), matrices of Table 2");
+
+    TextTable t;
+    t.setHeader({"ID", "collection", "speedup", "transfer reduction"});
+    SummaryStats suite_speedup, snap_speedup, suite_transfer,
+        snap_transfer;
+
+    for (const sparse::DatasetEntry &entry : sparse::table2()) {
+        const sparse::CsrMatrix a = entry.generate();
+        const core::SpmvReport chason =
+            bench::reportOf(a, core::Engine::Kind::Chason, entry.id);
+        const core::SpmvReport serpens =
+            bench::reportOf(a, core::Engine::Kind::Serpens, entry.id);
+        const double speedup = serpens.latencyMs / chason.latencyMs;
+        const double transfer =
+            static_cast<double>(serpens.matrixStreamBytes) /
+            static_cast<double>(chason.matrixStreamBytes);
+        const bool suite =
+            entry.collection == sparse::Collection::SuiteSparse;
+        (suite ? suite_speedup : snap_speedup).add(speedup);
+        (suite ? suite_transfer : snap_transfer).add(transfer);
+        t.addRow({entry.id, suite ? "SuiteSparse" : "SNAP",
+                  TextTable::speedup(speedup, 2),
+                  TextTable::speedup(transfer, 2)});
+    }
+    t.print();
+
+    std::printf("\ngeomean speedup:  SuiteSparse %.2fx (paper 6.1x), "
+                "SNAP %.2fx (paper 4.1x)\n",
+                suite_speedup.geomean(), snap_speedup.geomean());
+    std::printf("peak speedup:     %.2fx (paper up to 8.4x)\n",
+                std::max(suite_speedup.max(), snap_speedup.max()));
+    std::printf("geomean transfer: SuiteSparse %.2fx (paper ~7.1x), "
+                "SNAP %.2fx (paper ~6.9x)\n",
+                suite_transfer.geomean(), snap_transfer.geomean());
+    return 0;
+}

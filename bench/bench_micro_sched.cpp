@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): offline scheduling and simulation
+ * throughput of the toolchain itself. Not a paper figure — this is the
+ * cost of Chasoň's host-side preprocessing, which the paper performs
+ * offline before streaming.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/chason_accel.h"
+#include "common/rng.h"
+#include "sched/crhcs.h"
+#include "sched/pe_aware.h"
+#include "sched/row_based.h"
+#include "sparse/generators.h"
+
+namespace {
+
+using namespace chason;
+
+sparse::CsrMatrix
+benchMatrix(std::int64_t nnz)
+{
+    Rng rng(0xBE9C);
+    const auto rows = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(256, nnz / 16));
+    return sparse::zipfRows(rows, rows, static_cast<std::size_t>(nnz),
+                            1.2, rng);
+}
+
+void
+BM_PeAwareSchedule(benchmark::State &state)
+{
+    const sparse::CsrMatrix a = benchMatrix(state.range(0));
+    sched::SchedConfig cfg;
+    cfg.migrationDepth = 0;
+    const sched::PeAwareScheduler scheduler(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.schedule(a));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(a.nnz()));
+}
+
+void
+BM_CrhcsSchedule(benchmark::State &state)
+{
+    const sparse::CsrMatrix a = benchMatrix(state.range(0));
+    const sched::CrhcsScheduler scheduler(sched::SchedConfig{});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.schedule(a));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(a.nnz()));
+}
+
+void
+BM_RowBasedSchedule(benchmark::State &state)
+{
+    const sparse::CsrMatrix a = benchMatrix(state.range(0));
+    sched::SchedConfig cfg;
+    cfg.migrationDepth = 0;
+    const sched::RowBasedScheduler scheduler(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.schedule(a));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(a.nnz()));
+}
+
+void
+BM_ChasonSimulate(benchmark::State &state)
+{
+    const sparse::CsrMatrix a = benchMatrix(state.range(0));
+    Rng rng(7);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const arch::ArchConfig cfg;
+    const sched::Schedule sch =
+        sched::CrhcsScheduler(cfg.sched).schedule(a);
+    const arch::ChasonAccelerator accel(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(accel.run(sch, x));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(a.nnz()));
+}
+
+void
+BM_GenerateRmat(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Rng rng(11);
+        benchmark::DoNotOptimize(
+            sparse::rmat(12, static_cast<std::size_t>(state.range(0)),
+                         rng));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+BENCHMARK(BM_RowBasedSchedule)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_PeAwareSchedule)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+BENCHMARK(BM_CrhcsSchedule)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+BENCHMARK(BM_ChasonSimulate)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_GenerateRmat)->Arg(1 << 16);
+
+} // namespace
+
+BENCHMARK_MAIN();

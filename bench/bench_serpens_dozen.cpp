@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section 6.2.2 — the "Serpens dozen": on the 12 large matrices
+ * evaluated by the Serpens paper, Chasoň's geomean speedup drops to
+ * ~1.17x with peak throughputs of 43.27 (Chasoň) vs 41.11 (Serpens)
+ * GFLOPS — RAW dependencies in the migrated data and the already-low
+ * stall counts leave little for CrHCS to recover.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Section 6.2.2 — large-matrix (Serpens-paper) set",
+                       "Section 6.2.2, 12-matrix discussion");
+
+    TextTable t;
+    t.setHeader({"matrix", "nnz", "chason GFLOPS", "serpens GFLOPS",
+                 "speedup", "serpens underutil"});
+    SummaryStats speedups, chason_gflops, serpens_gflops;
+
+    for (const sparse::SweepEntry &entry : sparse::serpensDozen()) {
+        const sparse::CsrMatrix a = entry.generate();
+        const core::SpmvReport c =
+            bench::reportOf(a, core::Engine::Kind::Chason, entry.name);
+        const core::SpmvReport s =
+            bench::reportOf(a, core::Engine::Kind::Serpens, entry.name);
+        speedups.add(s.latencyMs / c.latencyMs);
+        chason_gflops.add(c.gflops);
+        serpens_gflops.add(s.gflops);
+        t.addRow({entry.name, std::to_string(a.nnz()),
+                  TextTable::num(c.gflops, 2),
+                  TextTable::num(s.gflops, 2),
+                  TextTable::speedup(s.latencyMs / c.latencyMs, 2),
+                  TextTable::pct(s.underutilizationPercent, 1)});
+    }
+    t.print();
+
+    std::printf("\ngeomean speedup: %.2fx (paper: 1.17x)\n",
+                speedups.geomean());
+    std::printf("peak throughput: Chasoň %.2f GFLOPS (paper 43.27), "
+                "Serpens %.2f GFLOPS (paper 41.11)\n",
+                chason_gflops.max(), serpens_gflops.max());
+    std::printf("paper: on these large, well-balanced matrices the "
+                "migrated data's RAW dependencies limit CrHCS's room\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1 — Alveo U55c resource consumption, Serpens vs Chasoň.
+ */
+
+#include <cstdio>
+
+#include "arch/resources.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Table 1 — U55c resource consumption",
+                       "Table 1 (Section 4.5)");
+
+    const arch::ArchConfig cfg; // the shipped configuration
+    const arch::FpgaResources serpens = arch::serpensResources(cfg);
+    const arch::FpgaResources chason = arch::chasonResources(cfg);
+
+    TextTable t;
+    t.setHeader({"", "Serpens", "Chason", "paper Serpens",
+                 "paper Chason"});
+    auto row = [&t](const char *name, std::uint64_t s, double sp,
+                    std::uint64_t c, double cp, const char *paper_s,
+                    const char *paper_c) {
+        char sb[48], cb[48];
+        std::snprintf(sb, sizeof(sb), "%llu (%.1f%%)",
+                      static_cast<unsigned long long>(s), sp);
+        std::snprintf(cb, sizeof(cb), "%llu (%.1f%%)",
+                      static_cast<unsigned long long>(c), cp);
+        t.addRow({name, sb, cb, paper_s, paper_c});
+    };
+    row("LUT", serpens.lut, serpens.lutPercent(), chason.lut,
+        chason.lutPercent(), "219K (16%)", "346K (26%)");
+    row("FF", serpens.ff, serpens.ffPercent(), chason.ff,
+        chason.ffPercent(), "252K (9.6%)", "418K (16%)");
+    row("DSP", serpens.dsp, serpens.dspPercent(), chason.dsp,
+        chason.dspPercent(), "798 (9.6%)", "1254 (13%)");
+    row("BRAM18K", serpens.bram18k, serpens.bram18kPercent(),
+        chason.bram18k, chason.bram18kPercent(), "1024 (28%)",
+        "1024 (28%)");
+    row("URAM", serpens.uram, serpens.uramPercent(), chason.uram,
+        chason.uramPercent(), "384 (40%)", "512 (52%)");
+    t.print();
+
+    std::printf("\nEq. 3 check: full ScUG of 8 would need %llu URAMs "
+                "(> %llu available -> folded to %u per ScUG)\n",
+                static_cast<unsigned long long>(arch::chasonUramCount(
+                    [] { arch::ArchConfig c; c.scugSize = 8; return c; }())),
+                static_cast<unsigned long long>(arch::U55cDevice::kUram),
+                cfg.scugSize);
+    return 0;
+}

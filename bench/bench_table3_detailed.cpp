@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 3 — detailed per-matrix performance of Chasoň and Serpens:
+ * latency, throughput (Eq. 5), bandwidth efficiency (Eq. 7, per TB/s of
+ * platform peak) and energy efficiency (Eq. 6), plus improvement
+ * factors.
+ */
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "support.h"
+
+int
+main()
+{
+    using namespace chason;
+    bench::printHeader("Table 3 — detailed Chasoň vs Serpens numbers",
+                       "Table 3 (Section 6.2.2), matrices of Table 2");
+
+    TextTable t;
+    t.setHeader({"ID", "lat C (ms)", "lat S (ms)", "GFLOPS C",
+                 "GFLOPS S", "BWeff C", "BWeff S", "Imp.", "Eeff C",
+                 "Eeff S", "Eeff Imp."});
+
+    SummaryStats chason_eff, serpens_eff;
+    for (const sparse::DatasetEntry &entry : sparse::table2()) {
+        const sparse::CsrMatrix a = entry.generate();
+        const core::SpmvReport c =
+            bench::reportOf(a, core::Engine::Kind::Chason, entry.id);
+        const core::SpmvReport s =
+            bench::reportOf(a, core::Engine::Kind::Serpens, entry.id);
+        chason_eff.add(c.energyEfficiency);
+        serpens_eff.add(s.energyEfficiency);
+        t.addRow({entry.id, TextTable::num(c.latencyMs, 3),
+                  TextTable::num(s.latencyMs, 3),
+                  TextTable::num(c.gflops, 3),
+                  TextTable::num(s.gflops, 3),
+                  TextTable::num(c.bandwidthEfficiency, 3),
+                  TextTable::num(s.bandwidthEfficiency, 3),
+                  TextTable::speedup(s.latencyMs / c.latencyMs, 2),
+                  TextTable::num(c.energyEfficiency, 3),
+                  TextTable::num(s.energyEfficiency, 3),
+                  TextTable::speedup(
+                      c.energyEfficiency / s.energyEfficiency, 2)});
+    }
+    t.print();
+
+    std::printf("\naverage energy efficiency: Chasoň %.2f GFLOPS/W "
+                "(paper 0.33), Serpens %.2f GFLOPS/W (paper 0.16), "
+                "gain %.2fx (paper 2.03x)\n",
+                chason_eff.mean(), serpens_eff.mean(),
+                chason_eff.mean() / serpens_eff.mean());
+    std::printf("paper peak throughputs: Chasoň 30.28 GFLOPS "
+                "(SuiteSparse) / 27.36 (SNAP); Serpens 7.08 / 6.50\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bench support implementation.
+ */
+
+#include "support.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace bench {
+
+std::size_t
+corpusSize()
+{
+    if (const char *env = std::getenv("CHASON_CORPUS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return 800;
+}
+
+void
+printHeader(const std::string &experiment, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================\n");
+}
+
+double
+underutilizationOf(const sparse::CsrMatrix &a, core::Engine::Kind kind)
+{
+    return statsOf(a, kind).underutilizationPercent;
+}
+
+sched::ScheduleStats
+statsOf(const sparse::CsrMatrix &a, core::Engine::Kind kind)
+{
+    const core::Engine engine(kind);
+    return sched::analyze(engine.schedule(a));
+}
+
+core::SpmvReport
+reportOf(const sparse::CsrMatrix &a, core::Engine::Kind kind,
+         const std::string &tag)
+{
+    Rng rng(0xBE7C4);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    return core::Engine(kind).run(a, x, tag);
+}
+
+void
+printPdfSeries(const std::string &label,
+               const std::vector<double> &samples, double lo, double hi,
+               std::size_t steps)
+{
+    const KdePdf kde(samples);
+    std::printf("# PDF series: %s (%zu samples, peak at %.1f)\n",
+                label.c_str(), samples.size(), kde.peak(lo, hi));
+    for (const auto &[x, pdf] : kde.evaluate(lo, hi, steps))
+        std::printf("%s %7.2f %.5f\n", label.c_str(), x, pdf);
+}
+
+} // namespace bench
+} // namespace chason

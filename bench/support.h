@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation section and prints the corresponding rows/series to
+ * stdout. The 800-matrix corpus size can be reduced for quick runs with
+ * the CHASON_CORPUS environment variable (the corpus is a deterministic
+ * prefix, so smaller runs are subsets of the full one).
+ */
+
+#ifndef CHASON_BENCH_SUPPORT_H_
+#define CHASON_BENCH_SUPPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "sched/analyzer.h"
+#include "sparse/dataset.h"
+
+namespace chason {
+namespace bench {
+
+/** Corpus size: CHASON_CORPUS env var, default 800. */
+std::size_t corpusSize();
+
+/** Print the standard bench header naming the experiment. */
+void printHeader(const std::string &experiment,
+                 const std::string &paper_ref);
+
+/** Underutilization % of one scheduler on one matrix (Eq. 4). */
+double underutilizationOf(const sparse::CsrMatrix &a,
+                          core::Engine::Kind kind);
+
+/** Schedule-level stats of one scheduler on one matrix. */
+sched::ScheduleStats statsOf(const sparse::CsrMatrix &a,
+                             core::Engine::Kind kind);
+
+/** Full engine report (schedules + simulates) on one matrix. */
+core::SpmvReport reportOf(const sparse::CsrMatrix &a,
+                          core::Engine::Kind kind,
+                          const std::string &tag);
+
+/**
+ * Print a KDE series "x pdf(x)" over [lo, hi] with @p steps points —
+ * the curves plotted in the paper's PDF figures.
+ */
+void printPdfSeries(const std::string &label,
+                    const std::vector<double> &samples, double lo,
+                    double hi, std::size_t steps = 26);
+
+} // namespace bench
+} // namespace chason
+
+#endif // CHASON_BENCH_SUPPORT_H_

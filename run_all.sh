@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the paper.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt and bench_output.txt"

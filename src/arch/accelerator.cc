@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Shared streaming simulation core.
+ */
+
+#include "arch/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace arch {
+
+namespace {
+
+/** FP32 words carried by one 512-bit beat of a dense stream. */
+constexpr std::uint32_t kDenseWordsPerBeat = 16;
+
+std::uint64_t
+denseBeats(std::uint64_t words)
+{
+    return (words + kDenseWordsPerBeat - 1) / kDenseWordsPerBeat;
+}
+
+} // namespace
+
+std::uint32_t
+ArchConfig::capacityRowsPerLane() const
+{
+    // One URAM bank: 4096 deep x 72 bit, two FP32 partial sums per slot.
+    constexpr std::uint32_t kRowsPerUram = 8192;
+    // URAM_pvt is a full URAM; logical shared banks fold scugSize
+    // physical URAMs over pesPerGroup() logical banks.
+    const std::uint32_t shared_rows = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(kRowsPerUram) * scugSize /
+        sched.pesPerGroup());
+    if (sched.migrationDepth == 0)
+        return kRowsPerUram;
+    return std::min(kRowsPerUram, shared_rows);
+}
+
+void
+ArchConfig::validate() const
+{
+    sched.validate();
+    chason_assert(usedChannels() <= hbm.totalChannels,
+                  "design needs %u channels, platform has %u",
+                  usedChannels(), hbm.totalChannels);
+    chason_assert(scugSize >= 1 && scugSize <= sched.pesPerGroup(),
+                  "scugSize %u out of [1,%u]", scugSize,
+                  sched.pesPerGroup());
+    chason_assert(sched.rowsPerLanePerPass <= capacityRowsPerLane(),
+                  "pass height %u exceeds URAM capacity %u",
+                  sched.rowsPerLanePerPass, capacityRowsPerLane());
+}
+
+Accelerator::Accelerator(const ArchConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+RunResult
+Accelerator::simulateStreaming(const sched::Schedule &schedule,
+                               const std::vector<float> &x,
+                               const SpmvParams &params,
+                               unsigned migration_depth,
+                               bool with_reduction) const
+{
+    const sched::SchedConfig &sc = schedule.config;
+    const bool reads_y = params.beta != 0.0f;
+    chason_assert(!reads_y ||
+                      (params.yIn && params.yIn->size() == schedule.rows),
+                  "beta != 0 requires a y_in of %u entries",
+                  schedule.rows);
+    chason_assert(sc.channels == config_.sched.channels &&
+                      sc.pesPerGroup() == config_.sched.pesPerGroup(),
+                  "schedule geometry does not match the architecture");
+    chason_assert(x.size() == schedule.cols,
+                  "x has %zu entries, schedule expects %u", x.size(),
+                  schedule.cols);
+    // Note: a schedule whose slots migrate farther than the datapath's
+    // shared banks reach is caught inside Pe::process.
+
+    const sched::LaneMap map(sc);
+    const double freq = frequencyMhz();
+    const double mem_factor = memoryStallFactor(config_.hbm, freq);
+
+    RunResult result;
+    result.traffic = hbm::HbmDevice(config_.hbm);
+    result.memStallFactor = mem_factor;
+    result.y.assign(schedule.rows, 0.0f);
+
+    std::vector<Peg> pegs;
+    pegs.reserve(sc.channels);
+    for (unsigned ch = 0; ch < sc.channels; ++ch)
+        pegs.emplace_back(sc, migration_depth);
+
+    XWindowBuffer xbuf;
+    std::int64_t beat_base = 0;
+    bool first_phase = true;
+
+    // Depth of the URAM region a pass actually uses.
+    auto pass_depth = [&](std::uint32_t pass) {
+        const std::uint64_t pass_rows = std::min<std::uint64_t>(
+            sc.rowsPerPass(),
+            static_cast<std::uint64_t>(schedule.rows) -
+                static_cast<std::uint64_t>(pass) * sc.rowsPerPass());
+        return static_cast<std::uint32_t>(
+            (pass_rows + map.lanes() - 1) / map.lanes());
+    };
+
+    // Merge partial sums of a finished pass into y and account the
+    // Reduction Unit sweep.
+    auto finish_pass = [&](std::uint32_t pass) {
+        const std::uint32_t depth = pass_depth(pass);
+        const std::uint32_t local_base = pass * sc.rowsPerLanePerPass;
+
+        // Consolidated shared sums: [source channel][source PE] -> rows.
+        for (unsigned s = 0; s < sc.channels; ++s) {
+            for (unsigned k = 0; k < sc.pesPerGroup(); ++k) {
+                std::vector<float> lane_sum(depth, 0.0f);
+                for (std::uint32_t a = 0; a < depth; ++a)
+                    lane_sum[a] = pegs[s].pe(k).pvt().value(a);
+                for (unsigned off = 1; off <= migration_depth; ++off) {
+                    const unsigned dest =
+                        (s + sc.channels - off) % sc.channels;
+                    if (dest == s)
+                        break;
+                    const std::vector<float> reduced =
+                        pegs[dest].reduceShared(off, k);
+                    for (std::uint32_t a = 0; a < depth; ++a)
+                        lane_sum[a] += reduced[a];
+                }
+                for (std::uint32_t a = 0; a < depth; ++a) {
+                    const std::uint32_t row =
+                        map.globalRowOf(s, k, local_base + a);
+                    if (row < schedule.rows) {
+                        // Dense Vector Kernels unit: alpha/beta blend.
+                        float value = params.alpha * lane_sum[a];
+                        if (reads_y)
+                            value += params.beta * (*params.yIn)[row];
+                        result.y[row] = value;
+                    }
+                }
+            }
+        }
+
+        // Drain of the finished pass. The Reduction Unit sweep (one
+        // address per cycle per PEG, pes x depth x distances) feeds the
+        // Re-order/Arbiter/Merger pipeline that writes y, so the two
+        // overlap: the exposed time is max(sweep, y write) plus the
+        // adder-tree latency. Serpens drains through the same y write
+        // without a reduction stage.
+        const std::uint64_t pass_rows = std::min<std::uint64_t>(
+            sc.rowsPerPass(),
+            static_cast<std::uint64_t>(schedule.rows) -
+                static_cast<std::uint64_t>(pass) * sc.rowsPerPass());
+        const std::uint64_t y_beats = denseBeats(pass_rows);
+        const std::uint64_t y_cycles = streamCycles(y_beats, mem_factor);
+        result.traffic.recordBeats(config_.yChannel(),
+                                   hbm::Direction::Write, y_beats);
+        // A beta != 0 call also streams the previous y in; the read is
+        // independent of the matrix data and prefetches behind the
+        // streaming phases, so it costs traffic but no exposed cycles.
+        if (reads_y) {
+            result.traffic.recordBeats(config_.yChannel(),
+                                       hbm::Direction::Read, y_beats);
+        }
+        result.cycles.writeback += y_cycles;
+        if (with_reduction && migration_depth > 0) {
+            const std::uint64_t sweep =
+                static_cast<std::uint64_t>(sc.pesPerGroup()) * depth *
+                migration_depth;
+            result.cycles.reduction +=
+                (sweep > y_cycles ? sweep - y_cycles : 0) +
+                config_.timing.reductionTreeLatency;
+        }
+    };
+
+    std::int64_t current_pass = -1;
+    for (const sched::WindowSchedule &phase : schedule.phases) {
+        if (static_cast<std::int64_t>(phase.pass) != current_pass) {
+            if (current_pass >= 0)
+                finish_pass(static_cast<std::uint32_t>(current_pass));
+            current_pass = phase.pass;
+            const std::uint32_t depth =
+                pass_depth(static_cast<std::uint32_t>(current_pass));
+            for (Peg &peg : pegs)
+                peg.reset(depth);
+        }
+
+        // Dense-vector window load (one channel, broadcast to all
+        // PEGs). The load of window w+1 is double-buffered behind the
+        // streaming of window w in the dataflow design, so only the
+        // first window's load — and any excess over the matrix stream —
+        // costs wall-clock cycles.
+        const std::uint32_t col_base = phase.window * sc.windowCols;
+        const std::uint32_t win_len = std::min<std::uint32_t>(
+            sc.windowCols, schedule.cols - col_base);
+        xbuf.load(x, col_base, win_len);
+        const std::uint64_t x_beats = denseBeats(win_len);
+        result.traffic.recordBeats(config_.xChannel(),
+                                   hbm::Direction::Read, x_beats);
+        const std::uint64_t x_cycles = streamCycles(x_beats, mem_factor);
+        const std::uint64_t stream_cycles =
+            streamCycles(phase.alignedBeats, mem_factor);
+        if (first_phase) {
+            result.cycles.xLoad += x_cycles;
+            first_phase = false;
+        } else if (x_cycles > stream_cycles) {
+            result.cycles.xLoad += x_cycles - stream_cycles;
+        }
+
+        // Matrix streaming: all channels in lockstep for alignedBeats.
+        for (unsigned ch = 0; ch < sc.channels; ++ch) {
+            const sched::ChannelWindowSchedule &cws = phase.channels[ch];
+            for (std::size_t t = 0; t < cws.length(); ++t) {
+                for (unsigned p = 0; p < sc.pesPerGroup(); ++p) {
+                    pegs[ch].pe(p).process(cws.beats[t].slots[p], xbuf,
+                                           beat_base +
+                                               static_cast<std::int64_t>(
+                                                   t),
+                                           sc, ch, p);
+                }
+            }
+            result.traffic.recordBeats(ch, hbm::Direction::Read,
+                                       phase.alignedBeats);
+        }
+        result.cycles.matrixStream += stream_cycles;
+        result.cycles.pipelineFill += config_.timing.pipelineFillCycles;
+
+        // One descriptor beat on the instruction channel per phase.
+        result.traffic.recordBeats(config_.instChannel(),
+                                   hbm::Direction::Read, 1);
+        result.cycles.instStream += 1;
+
+        // The pipeline drains between phases, which also clears RAW
+        // hazards across the boundary.
+        beat_base += static_cast<std::int64_t>(phase.alignedBeats) +
+            sc.rawDistance;
+    }
+    if (current_pass >= 0)
+        finish_pass(static_cast<std::uint32_t>(current_pass));
+
+    result.cycles.launch = static_cast<std::uint64_t>(
+        std::ceil(config_.timing.launchOverheadUs * freq));
+
+    result.latencyUs =
+        static_cast<double>(result.cycles.total()) / freq;
+    return result;
+}
+
+} // namespace arch
+} // namespace chason

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Closed-form cycle estimator implementation. Mirrors the accounting in
+ * Accelerator::simulateStreaming() exactly — any change there must be
+ * reflected here (the equality is enforced by tests/arch/
+ * test_estimator.cc).
+ */
+
+#include "arch/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/frequency.h"
+#include "common/logging.h"
+
+namespace chason {
+namespace arch {
+
+double
+datapathFrequencyMhz(DatapathKind kind)
+{
+    const FrequencyModel fm;
+    return fm.achievedMhz(kind == DatapathKind::Serpens
+                              ? MemoryTopology::SingleUramPerPe
+                              : MemoryTopology::DistributedUramGroup);
+}
+
+CycleBreakdown
+estimateCycles(const sched::Schedule &schedule, const ArchConfig &config,
+               DatapathKind kind)
+{
+    const sched::SchedConfig &sc = schedule.config;
+    const double freq = datapathFrequencyMhz(kind);
+    const double mem_factor = memoryStallFactor(config.hbm, freq);
+    const unsigned lanes = sc.lanes();
+    const unsigned migration_depth = kind == DatapathKind::Serpens
+        ? 0
+        : std::max(1u, sc.migrationDepth);
+
+    CycleBreakdown cycles;
+    bool first_phase = true;
+    std::int64_t current_pass = -1;
+
+    auto pass_rows_of = [&](std::uint32_t pass) -> std::uint64_t {
+        return std::min<std::uint64_t>(
+            sc.rowsPerPass(),
+            static_cast<std::uint64_t>(schedule.rows) -
+                static_cast<std::uint64_t>(pass) * sc.rowsPerPass());
+    };
+
+    // Per-pass drain: y write overlapped with the Reduction Unit sweep
+    // (Chasoň only) plus the adder-tree latency — mirrors the
+    // finish_pass accounting of the simulator.
+    auto account_pass = [&](std::uint32_t pass) {
+        const std::uint64_t pass_rows = pass_rows_of(pass);
+        const std::uint64_t depth = (pass_rows + lanes - 1) / lanes;
+        const std::uint64_t y_cycles =
+            streamCycles((pass_rows + 15) / 16, mem_factor);
+        cycles.writeback += y_cycles;
+        if (kind == DatapathKind::Chason && migration_depth > 0) {
+            const std::uint64_t sweep =
+                static_cast<std::uint64_t>(sc.pesPerGroup()) * depth *
+                migration_depth;
+            cycles.reduction +=
+                (sweep > y_cycles ? sweep - y_cycles : 0) +
+                config.timing.reductionTreeLatency;
+        }
+    };
+
+    for (const sched::WindowSchedule &phase : schedule.phases) {
+        if (static_cast<std::int64_t>(phase.pass) != current_pass) {
+            current_pass = phase.pass;
+            account_pass(phase.pass);
+        }
+
+        const std::uint32_t col_base = phase.window * sc.windowCols;
+        const std::uint32_t win_len =
+            std::min<std::uint32_t>(sc.windowCols,
+                                    schedule.cols - col_base);
+        const std::uint64_t x_beats = (win_len + 15) / 16;
+        const std::uint64_t x_cycles = streamCycles(x_beats, mem_factor);
+        const std::uint64_t stream_cycles =
+            streamCycles(phase.alignedBeats, mem_factor);
+        if (first_phase) {
+            cycles.xLoad += x_cycles;
+            first_phase = false;
+        } else if (x_cycles > stream_cycles) {
+            cycles.xLoad += x_cycles - stream_cycles;
+        }
+        cycles.matrixStream += stream_cycles;
+        cycles.pipelineFill += config.timing.pipelineFillCycles;
+        cycles.instStream += 1;
+    }
+
+    cycles.launch = static_cast<std::uint64_t>(
+        std::ceil(config.timing.launchOverheadUs * freq));
+    return cycles;
+}
+
+double
+estimateLatencyUs(const sched::Schedule &schedule, const ArchConfig &config,
+                  DatapathKind kind)
+{
+    return static_cast<double>(
+               estimateCycles(schedule, config, kind).total()) /
+        datapathFrequencyMhz(kind);
+}
+
+} // namespace arch
+} // namespace chason

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Closed-form cycle estimator.
+ *
+ * Computes the exact cycle breakdown an accelerator run will report
+ * without executing the beat-by-beat simulation — useful for fast
+ * design-space sweeps (the ablation benches) and as a specification of
+ * the timing model: tests assert the estimator and the simulator agree
+ * cycle-for-cycle on every matrix family.
+ */
+
+#ifndef CHASON_ARCH_ESTIMATOR_H_
+#define CHASON_ARCH_ESTIMATOR_H_
+
+#include "arch/accelerator.h"
+
+namespace chason {
+namespace arch {
+
+/** Which datapath's timing rules to apply. */
+enum class DatapathKind
+{
+    Serpens,
+    Chason,
+};
+
+/**
+ * Cycle breakdown of running @p schedule on the given datapath; equal
+ * to the breakdown the corresponding Accelerator::run() reports.
+ */
+CycleBreakdown estimateCycles(const sched::Schedule &schedule,
+                              const ArchConfig &config, DatapathKind kind);
+
+/** Latency in microseconds for the same run. */
+double estimateLatencyUs(const sched::Schedule &schedule,
+                         const ArchConfig &config, DatapathKind kind);
+
+/** The clock the datapath kind closes timing at (frequency model). */
+double datapathFrequencyMhz(DatapathKind kind);
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_ESTIMATOR_H_

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Frequency model implementation.
+ *
+ * Calibration: 322 * (1 - 0.3075) = 222.98 ~ 223 MHz (Serpens) and
+ * 322 * (1 - 0.0652) = 301.0 MHz (Chasoň).
+ */
+
+#include "arch/frequency.h"
+
+namespace chason {
+namespace arch {
+
+double
+FrequencyModel::achievedMhz(MemoryTopology topology) const
+{
+    switch (topology) {
+      case MemoryTopology::SingleUramPerPe:
+        return platformFmaxMhz * (1.0 - singleUramPenalty);
+      case MemoryTopology::DistributedUramGroup:
+        return platformFmaxMhz * (1.0 - distributedPenalty);
+    }
+    return platformFmaxMhz;
+}
+
+} // namespace arch
+} // namespace chason

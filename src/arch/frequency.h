@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Achieved-frequency model.
+ *
+ * On multi-die FPGAs the achievable clock is set by routing congestion
+ * around the memory subsystem. Serpens funnels every partial output of a
+ * PE into a single URAM, concentrating traffic and closing timing at
+ * 223 MHz on the U55c; Chasoň's ScUG distributes that traffic over
+ * several URAMs, and with Autobridge floorplanning closes at 301 MHz
+ * (Section 4.5). The model captures this as a platform fmax derated by
+ * a memory-port-concentration penalty, calibrated to the two published
+ * design points.
+ */
+
+#ifndef CHASON_ARCH_FREQUENCY_H_
+#define CHASON_ARCH_FREQUENCY_H_
+
+namespace chason {
+namespace arch {
+
+/** How a design routes PE partial sums to on-chip memory. */
+enum class MemoryTopology
+{
+    SingleUramPerPe,      ///< Serpens: one write target per PE
+    DistributedUramGroup, ///< Chasoň: ScUG spreads the write traffic
+};
+
+/** Frequency model parameters (calibrated to the paper's U55c runs). */
+struct FrequencyModel
+{
+    /** Kernel-clock ceiling attainable with Autobridge on the U55c. */
+    double platformFmaxMhz = 322.0;
+
+    /** Congestion penalty for concentrating writes on one URAM. */
+    double singleUramPenalty = 0.3075;
+
+    /** Residual penalty of the distributed topology (router muxes). */
+    double distributedPenalty = 0.0652;
+
+    /** Achieved clock for a topology. */
+    double achievedMhz(MemoryTopology topology) const;
+};
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_FREQUENCY_H_

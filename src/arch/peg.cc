@@ -1,0 +1,193 @@
+/**
+ * @file
+ * PEG model implementation.
+ */
+
+#include "arch/peg.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace arch {
+
+namespace {
+
+constexpr std::int64_t kNeverWritten =
+    std::numeric_limits<std::int64_t>::min() / 2;
+
+} // namespace
+
+void
+AccumulatorBank::reset(std::size_t depth)
+{
+    sums_.assign(depth, 0.0f);
+    lastWrite_.assign(depth, kNeverWritten);
+}
+
+void
+AccumulatorBank::accumulate(std::uint32_t addr, float product,
+                            std::int64_t beat, unsigned raw_distance)
+{
+    chason_assert(addr < sums_.size(), "bank address %u beyond depth %zu",
+                  addr, sums_.size());
+    chason_assert(lastWrite_[addr] + static_cast<std::int64_t>(
+                      raw_distance) <= beat,
+                  "RAW hazard at address %u: writes at beats %lld and "
+                  "%lld", addr,
+                  static_cast<long long>(lastWrite_[addr]),
+                  static_cast<long long>(beat));
+    sums_[addr] += product;
+    lastWrite_[addr] = beat;
+}
+
+float
+AccumulatorBank::value(std::uint32_t addr) const
+{
+    chason_assert(addr < sums_.size(), "bank address %u beyond depth %zu",
+                  addr, sums_.size());
+    return sums_[addr];
+}
+
+void
+XWindowBuffer::load(const std::vector<float> &x, std::uint32_t base,
+                    std::uint32_t len)
+{
+    chason_assert(static_cast<std::size_t>(base) + len <= x.size(),
+                  "window [%u, %u) outside x of size %zu", base,
+                  base + len, x.size());
+    base_ = base;
+    window_.assign(x.begin() + base, x.begin() + base + len);
+}
+
+float
+XWindowBuffer::at(std::uint32_t global_col) const
+{
+    chason_assert(global_col >= base_ &&
+                      global_col - base_ < window_.size(),
+                  "column %u outside loaded window [%u, %zu)", global_col,
+                  base_, base_ + window_.size());
+    return window_[global_col - base_];
+}
+
+Pe::Pe(unsigned migration_depth, unsigned pes) : pes_(pes)
+{
+    shared_.resize(migration_depth);
+    for (auto &banks : shared_)
+        banks.resize(pes);
+}
+
+void
+Pe::reset(std::size_t uram_depth)
+{
+    pvt_.reset(uram_depth);
+    for (auto &banks : shared_) {
+        for (AccumulatorBank &bank : banks)
+            bank.reset(uram_depth);
+    }
+}
+
+void
+Pe::process(const sched::Slot &slot, const XWindowBuffer &x,
+            std::int64_t beat, const sched::SchedConfig &config,
+            unsigned my_channel, unsigned my_pe)
+{
+    if (!slot.valid)
+        return; // explicit zero: MAC skipped, PE idle this beat
+
+    const sched::LaneMap map(config);
+    const float product = slot.value * x.at(slot.col);
+    const std::uint32_t local_row =
+        map.localRowOf(slot.row) % config.rowsPerLanePerPass;
+
+    if (slot.pvt) {
+        chason_assert(slot.chSrc == my_channel && slot.peSrc == my_pe,
+                      "private slot of lane (%u,%u) routed to (%u,%u)",
+                      slot.chSrc, slot.peSrc, my_channel, my_pe);
+        pvt_.accumulate(local_row, product, beat, config.rawDistance);
+        return;
+    }
+
+    const unsigned distance =
+        (slot.chSrc + config.channels - my_channel) % config.channels;
+    chason_assert(distance >= 1 && distance <= shared_.size(),
+                  "migrated slot from channel %u needs distance %u, PE "
+                  "supports %zu", slot.chSrc, distance, shared_.size());
+    chason_assert(slot.peSrc < pes_, "PE_src %u out of range", slot.peSrc);
+    shared_[distance - 1][slot.peSrc].accumulate(local_row, product, beat,
+                                                 config.rawDistance);
+}
+
+const AccumulatorBank &
+Pe::shared(unsigned distance, unsigned src_pe) const
+{
+    chason_assert(distance >= 1 && distance <= shared_.size(),
+                  "shared distance %u out of range", distance);
+    chason_assert(src_pe < pes_, "source PE %u out of range", src_pe);
+    return shared_[distance - 1][src_pe];
+}
+
+Peg::Peg(const sched::SchedConfig &config, unsigned migration_depth)
+{
+    pes_.reserve(config.pesPerGroup());
+    for (unsigned p = 0; p < config.pesPerGroup(); ++p)
+        pes_.emplace_back(migration_depth, config.pesPerGroup());
+}
+
+void
+Peg::reset(std::size_t uram_depth)
+{
+    for (Pe &pe : pes_)
+        pe.reset(uram_depth);
+}
+
+Pe &
+Peg::pe(unsigned p)
+{
+    chason_assert(p < pes_.size(), "PE %u out of range", p);
+    return pes_[p];
+}
+
+const Pe &
+Peg::pe(unsigned p) const
+{
+    chason_assert(p < pes_.size(), "PE %u out of range", p);
+    return pes_[p];
+}
+
+std::vector<float>
+Peg::reduceShared(unsigned distance, unsigned src_pe) const
+{
+    chason_assert(!pes_.empty(), "PEG without PEs");
+    const std::size_t depth = pes_.front().shared(distance, src_pe).depth();
+    std::vector<float> reduced(depth, 0.0f);
+    // Adder-tree order: pairwise over the eight ScUGs. Summation order
+    // matches a balanced tree, like the hardware.
+    std::vector<std::vector<float>> stage;
+    stage.reserve(pes_.size());
+    for (const Pe &pe : pes_) {
+        const AccumulatorBank &bank = pe.shared(distance, src_pe);
+        std::vector<float> leaf(depth);
+        for (std::uint32_t a = 0; a < depth; ++a)
+            leaf[a] = bank.value(a);
+        stage.push_back(std::move(leaf));
+    }
+    while (stage.size() > 1) {
+        std::vector<std::vector<float>> next;
+        for (std::size_t i = 0; i + 1 < stage.size(); i += 2) {
+            std::vector<float> merged(depth);
+            for (std::uint32_t a = 0; a < depth; ++a)
+                merged[a] = stage[i][a] + stage[i + 1][a];
+            next.push_back(std::move(merged));
+        }
+        if (stage.size() % 2 == 1)
+            next.push_back(std::move(stage.back()));
+        stage = std::move(next);
+    }
+    reduced = std::move(stage.front());
+    return reduced;
+}
+
+} // namespace arch
+} // namespace chason

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Processing element group model (Section 4.2).
+ *
+ * A PEG owns eight PEs. Each PE has a multiplier, a 10-cycle accumulating
+ * adder, a private-partial-sum URAM (URAM_pvt), and — in Chasoň — a
+ * shared-channel URAM group (ScUG) with one logical bank per source PE
+ * (and per migration-distance when the scheduler is configured beyond
+ * the paper's depth of 1). The Router steers each product to the right
+ * bank using the (pvt, PE_src) tags.
+ *
+ * The model is functional plus checked: every accumulation verifies the
+ * RAW distance on its physical bank, so a schedule that would corrupt
+ * data on the real pipeline panics here instead of silently producing
+ * wrong sums.
+ */
+
+#ifndef CHASON_ARCH_PEG_H_
+#define CHASON_ARCH_PEG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/config.h"
+#include "sched/schedule.h"
+
+namespace chason {
+namespace arch {
+
+/** One accumulator URAM bank with RAW-distance checking. */
+class AccumulatorBank
+{
+  public:
+    /** Clear sums and RAW history; size for @p depth rows. */
+    void reset(std::size_t depth);
+
+    /**
+     * Accumulate @p product into address @p addr at stream beat @p beat.
+     * Panics if the previous write to @p addr was closer than
+     * @p raw_distance beats — the real pipeline would have read a stale
+     * partial sum.
+     */
+    void accumulate(std::uint32_t addr, float product, std::int64_t beat,
+                    unsigned raw_distance);
+
+    float value(std::uint32_t addr) const;
+    std::size_t depth() const { return sums_.size(); }
+
+  private:
+    std::vector<float> sums_;
+    std::vector<std::int64_t> lastWrite_;
+};
+
+/** BRAM buffer holding the current window of the dense vector x. */
+class XWindowBuffer
+{
+  public:
+    /** Load x[base, base+len) as the active window. */
+    void load(const std::vector<float> &x, std::uint32_t base,
+              std::uint32_t len);
+
+    /** Read by global column index; panics outside the window. */
+    float at(std::uint32_t global_col) const;
+
+    std::uint32_t base() const { return base_; }
+    std::uint32_t length() const
+    {
+        return static_cast<std::uint32_t>(window_.size());
+    }
+
+  private:
+    std::vector<float> window_;
+    std::uint32_t base_ = 0;
+};
+
+/**
+ * One processing element: multiplier + router + accumulator banks.
+ * Shared banks are indexed [migration distance - 1][source PE].
+ */
+class Pe
+{
+  public:
+    /**
+     * @param migration_depth shared-bank distances supported (0 = a
+     *                        Serpens PE with no shared storage)
+     * @param pes             source PEs per shared distance
+     */
+    Pe(unsigned migration_depth, unsigned pes);
+
+    /** Clear all banks and size them for @p uram_depth rows. */
+    void reset(std::size_t uram_depth);
+
+    /**
+     * Consume one slot at stream beat @p beat: multiply by the x window
+     * entry and accumulate into the bank selected by the slot's tags.
+     * Panics if the slot needs a bank this PE does not have.
+     */
+    void process(const sched::Slot &slot, const XWindowBuffer &x,
+                 std::int64_t beat, const sched::SchedConfig &config,
+                 unsigned my_channel, unsigned my_pe);
+
+    const AccumulatorBank &pvt() const { return pvt_; }
+
+    /** Shared bank for (distance, source PE); distance >= 1. */
+    const AccumulatorBank &shared(unsigned distance, unsigned src_pe) const;
+
+    unsigned migrationDepth() const
+    {
+        return static_cast<unsigned>(shared_.size());
+    }
+
+  private:
+    AccumulatorBank pvt_;
+    std::vector<std::vector<AccumulatorBank>> shared_;
+    unsigned pes_;
+};
+
+/**
+ * A PEG: the PEs of one channel plus its Reduction Unit.
+ */
+class Peg
+{
+  public:
+    Peg(const sched::SchedConfig &config, unsigned migration_depth);
+
+    void reset(std::size_t uram_depth);
+
+    Pe &pe(unsigned p);
+    const Pe &pe(unsigned p) const;
+    unsigned pes() const { return static_cast<unsigned>(pes_.size()); }
+
+    /**
+     * Reduction Unit (Section 4.2.2): sum the shared banks of all PEs
+     * for a given (distance, source PE) — the adder-tree sweep — and
+     * return the consolidated per-row partial sums.
+     */
+    std::vector<float> reduceShared(unsigned distance,
+                                    unsigned src_pe) const;
+
+  private:
+    std::vector<Pe> pes_;
+};
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_PEG_H_

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Stage-level pipeline model implementation.
+ */
+
+#include "arch/pipeline.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace arch {
+
+AdderPipeline::AdderPipeline(unsigned stages)
+{
+    chason_assert(stages >= 1, "pipeline needs at least one stage");
+    inFlight_.resize(stages);
+}
+
+void
+AdderPipeline::step(std::optional<PipelineInstruction> issue)
+{
+    // Drain the last stage and shift: an instruction issued exactly
+    // rawDistance cycles after its same-address predecessor sees the
+    // completed result, which is the tightest legal spacing.
+    if (inFlight_.back())
+        ++completed_;
+    for (std::size_t s = inFlight_.size(); s-- > 1;)
+        inFlight_[s] = inFlight_[s - 1];
+    inFlight_[0] = std::nullopt;
+    if (issue) {
+        // A same-address instruction still in flight means the new one
+        // would read a stale partial sum: the exact hazard PE-aware /
+        // CrHCS scheduling exists to avoid (Section 2.2).
+        for (const auto &slot : inFlight_) {
+            chason_assert(!slot || slot->row != issue->row,
+                          "RAW corruption: row %u issued while I%u is "
+                          "still in flight", issue->row, slot->id);
+        }
+        inFlight_[0] = issue;
+    }
+    ++cycles_;
+}
+
+std::optional<PipelineInstruction>
+AdderPipeline::at(unsigned stage) const
+{
+    chason_assert(stage >= 1 && stage <= inFlight_.size(),
+                  "stage %u out of range", stage);
+    return inFlight_[stage - 1];
+}
+
+bool
+AdderPipeline::busy() const
+{
+    for (const auto &slot : inFlight_) {
+        if (slot)
+            return true;
+    }
+    return false;
+}
+
+std::string
+PipelineTrace::toString() const
+{
+    std::ostringstream out;
+    out << "cc |";
+    for (unsigned s = 1; s <= stages; ++s) {
+        char head[8];
+        std::snprintf(head, sizeof(head), " S.%-3u", s);
+        out << head;
+    }
+    out << "\n";
+    for (std::size_t c = 0; c < lines.size(); ++c) {
+        char head[32];
+        std::snprintf(head, sizeof(head), "%2llu |",
+                      static_cast<unsigned long long>(c + 1));
+        out << head << lines[c] << "\n";
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof(tail),
+                  "%llu instructions over %llu cycles: %.2f non-zeros "
+                  "per cycle\n",
+                  static_cast<unsigned long long>(instructions),
+                  static_cast<unsigned long long>(cyclesToDrain),
+                  throughputPerCycle);
+    out << tail;
+    return out.str();
+}
+
+PipelineTrace
+tracePipeline(const sched::Schedule &schedule, std::size_t phase,
+              unsigned channel, unsigned pe, std::size_t max_cycles)
+{
+    chason_assert(phase < schedule.phases.size(), "phase out of range");
+    const sched::WindowSchedule &ws = schedule.phases[phase];
+    chason_assert(channel < ws.channels.size(), "channel out of range");
+    chason_assert(pe < schedule.config.pesPerGroup(), "PE out of range");
+
+    const unsigned stages = schedule.config.rawDistance;
+    AdderPipeline pipe(stages);
+    PipelineTrace trace;
+    trace.stages = stages;
+
+    const auto &beats = ws.channels[channel].beats;
+    std::uint32_t next_id = 1;
+
+    auto snapshot = [&trace, &pipe, stages, max_cycles]() {
+        if (trace.lines.size() >= max_cycles)
+            return;
+        std::string line;
+        for (unsigned s = 1; s <= stages; ++s) {
+            const auto inst = pipe.at(s);
+            char cell[8];
+            if (inst) {
+                std::snprintf(cell, sizeof(cell), " %c%-4u",
+                              inst->migrated ? 'i' : 'I', inst->id);
+            } else {
+                std::snprintf(cell, sizeof(cell), " %-5s", ".");
+            }
+            line += cell;
+        }
+        trace.lines.push_back(std::move(line));
+    };
+
+    for (const sched::Beat &beat : beats) {
+        const sched::Slot &slot = beat.slots[pe];
+        std::optional<PipelineInstruction> issue;
+        if (slot.valid) {
+            issue = PipelineInstruction{next_id++, slot.row, !slot.pvt};
+            ++trace.instructions;
+        }
+        pipe.step(issue);
+        snapshot();
+    }
+    while (pipe.busy()) {
+        pipe.step(std::nullopt);
+        snapshot();
+    }
+
+    trace.cyclesToDrain = pipe.cycles();
+    trace.throughputPerCycle = beats.empty()
+        ? 0.0
+        : static_cast<double>(trace.instructions) /
+            static_cast<double>(beats.size());
+    chason_assert(pipe.completed() == trace.instructions,
+                  "pipeline lost instructions");
+    return trace;
+}
+
+} // namespace arch
+} // namespace chason

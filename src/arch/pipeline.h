@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Stage-level model of a PE's accumulating adder pipeline (Fig. 2).
+ *
+ * The beat-level simulator treats the accumulator as "one write per
+ * rawDistance beats per bank". This model goes one level down: the
+ * D-stage pipeline itself, with one instruction (one non-zero's
+ * accumulation) entering per cycle and occupying stages S.1..S.D — the
+ * view the paper draws in Figure 2. It exists to (a) render those
+ * diagrams, and (b) prove by construction that a schedule satisfying
+ * the RAW distance never has two in-flight instructions targeting the
+ * same accumulator address — the hazard HLS cannot forward around
+ * (Section 2.2: "dependent instructions must wait for the complete
+ * output of their predecessors").
+ */
+
+#ifndef CHASON_ARCH_PIPELINE_H_
+#define CHASON_ARCH_PIPELINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace chason {
+namespace arch {
+
+/** One instruction flowing through the adder pipeline. */
+struct PipelineInstruction
+{
+    std::uint32_t id = 0;     ///< issue order, 1-based like Fig. 2's I1..
+    std::uint32_t row = 0;    ///< the accumulator address (global row)
+    bool migrated = false;    ///< from a shared channel (pvt = 0)
+};
+
+/**
+ * The D-stage accumulator pipeline of one PE. Issue at most one
+ * instruction per cycle; issuing while another instruction with the
+ * same accumulator address is still in flight panics (a real RAW
+ * corruption).
+ */
+class AdderPipeline
+{
+  public:
+    explicit AdderPipeline(unsigned stages);
+
+    unsigned stages() const
+    {
+        return static_cast<unsigned>(inFlight_.size());
+    }
+
+    /** Advance one cycle, optionally issuing into stage 1. */
+    void step(std::optional<PipelineInstruction> issue);
+
+    /** Instruction currently in stage @p s (1-based), if any. */
+    std::optional<PipelineInstruction> at(unsigned stage) const;
+
+    /** Instructions completed (drained past the last stage) so far. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** Cycles stepped so far. */
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** True if any stage is occupied. */
+    bool busy() const;
+
+  private:
+    std::vector<std::optional<PipelineInstruction>> inFlight_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t cycles_ = 0;
+};
+
+/** One rendered row of the Fig. 2 pipeline table. */
+struct PipelineTrace
+{
+    unsigned stages = 0;
+    std::uint64_t cyclesToDrain = 0;
+    std::uint64_t instructions = 0;
+    double throughputPerCycle = 0.0; ///< the figure's headline number
+
+    /** The rendered table: one line per cycle, "I<k>" per stage. */
+    std::vector<std::string> lines;
+
+    std::string toString() const;
+};
+
+/**
+ * Replay one lane of one phase through the stage pipeline and render
+ * the Fig. 2 style table. Panics if the schedule would ever overlap two
+ * same-address instructions in flight — which also proves that the
+ * schedule's rawDistance >= the stage count is sufficient.
+ *
+ * @param max_cycles clip the rendering (the trace keeps counting).
+ */
+PipelineTrace tracePipeline(const sched::Schedule &schedule,
+                            std::size_t phase, unsigned channel,
+                            unsigned pe, std::size_t max_cycles = 48);
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_PIPELINE_H_

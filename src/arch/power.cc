@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "arch/power.h"
+
+namespace chason {
+namespace arch {
+
+namespace {
+
+// Fig. 10 calibration point: the shipped Chasoň at 301 MHz.
+constexpr double kRefFrequencyMhz = 301.0;
+
+} // namespace
+
+PowerBreakdown
+chasonEstimatedPower()
+{
+    PowerBreakdown p;
+    p.staticW = 12.845;
+    p.clocksW = 4.18;
+    p.signalsW = 2.22;
+    p.logicW = 2.76;
+    p.bramW = 1.24;
+    p.uramW = 1.51;
+    p.dspW = 0.56;
+    p.gtyW = 4.36;
+    p.hbmW = 18.95;
+    return p;
+}
+
+PowerBreakdown
+estimatePower(const FpgaResources &resources, double frequency_mhz)
+{
+    const PowerBreakdown ref = chasonEstimatedPower();
+    // The reference design the breakdown was measured on.
+    ArchConfig ref_config;
+    const FpgaResources ref_res = chasonResources(ref_config);
+
+    const double f = frequency_mhz / kRefFrequencyMhz;
+    auto scaled = [f](double ref_watts, double count, double ref_count) {
+        if (ref_count <= 0.0)
+            return ref_watts * f;
+        return ref_watts * f * (count / ref_count);
+    };
+
+    PowerBreakdown p;
+    p.staticW = ref.staticW;
+    p.clocksW = ref.clocksW * f;
+    p.signalsW = scaled(ref.signalsW, static_cast<double>(resources.ff),
+                        static_cast<double>(ref_res.ff));
+    p.logicW = scaled(ref.logicW, static_cast<double>(resources.lut),
+                      static_cast<double>(ref_res.lut));
+    p.bramW = scaled(ref.bramW, static_cast<double>(resources.bram18k),
+                     static_cast<double>(ref_res.bram18k));
+    p.uramW = scaled(ref.uramW, static_cast<double>(resources.uram),
+                     static_cast<double>(ref_res.uram));
+    p.dspW = scaled(ref.dspW, static_cast<double>(resources.dsp),
+                    static_cast<double>(ref_res.dsp));
+    p.gtyW = ref.gtyW;
+    p.hbmW = ref.hbmW;
+    return p;
+}
+
+double
+chasonMeasuredPowerW()
+{
+    return 39.0;
+}
+
+double
+serpensMeasuredPowerW()
+{
+    return 36.0;
+}
+
+} // namespace arch
+} // namespace chason

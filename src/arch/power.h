@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power model (Fig. 10 and the measured numbers of Section 6.2.2).
+ *
+ * Two views exist, mirroring the paper's methodology:
+ *  - the implementation-tool estimate with a per-component breakdown
+ *    (Fig. 10: 48.715 W for Chasoň, HBM dominating at 18.95 W);
+ *  - the xbutil-measured wall power during SpMV runs (39 W Chasoň,
+ *    36 W Serpens), which is what the energy-efficiency metric (Eq. 6)
+ *    divides by.
+ */
+
+#ifndef CHASON_ARCH_POWER_H_
+#define CHASON_ARCH_POWER_H_
+
+#include "arch/resources.h"
+
+namespace chason {
+namespace arch {
+
+/** Component power breakdown in watts (Fig. 10 categories). */
+struct PowerBreakdown
+{
+    double staticW = 0.0;
+    double clocksW = 0.0;
+    double signalsW = 0.0;
+    double logicW = 0.0;
+    double bramW = 0.0;
+    double uramW = 0.0;
+    double dspW = 0.0;
+    double gtyW = 0.0;
+    double hbmW = 0.0;
+
+    double totalW() const
+    {
+        return staticW + clocksW + signalsW + logicW + bramW + uramW +
+            dspW + gtyW + hbmW;
+    }
+
+    double dynamicW() const { return totalW() - staticW; }
+};
+
+/** The published Chasoň estimate (Fig. 10; totals 48.715 W). */
+PowerBreakdown chasonEstimatedPower();
+
+/**
+ * Scale the Fig. 10 breakdown to another design point: logic-class
+ * components scale with their resource counts and linearly with clock
+ * frequency; static, GTY and HBM power do not.
+ */
+PowerBreakdown estimatePower(const FpgaResources &resources,
+                             double frequency_mhz);
+
+/** Measured wall power during SpMV (xbutil), Section 6.2.2. */
+double chasonMeasuredPowerW();
+double serpensMeasuredPowerW();
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_POWER_H_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Resource model implementation.
+ *
+ * Calibration targets (Table 1):
+ *   Serpens: 219 K LUT, 252 K FF,  798 DSP, 1024 BRAM18K, 384 URAM
+ *   Chasoň:  346 K LUT, 418 K FF, 1254 DSP, 1024 BRAM18K, 512 URAM
+ */
+
+#include "arch/resources.h"
+
+namespace chason {
+namespace arch {
+
+namespace {
+
+// Per-component costs (calibrated; see file header).
+constexpr std::uint64_t kLutPerPe = 1200;        // mult + adder + ctrl
+constexpr std::uint64_t kFfPerPe = 1400;
+constexpr std::uint64_t kDspPerMult = 3;         // FP32 multiplier
+constexpr std::uint64_t kDspPerAdd = 2;          // FP32 adder
+
+constexpr std::uint64_t kLutPerChannelInfra = 2500; // AXI + FIFOs
+constexpr std::uint64_t kFfPerChannelInfra = 3000;
+
+constexpr std::uint64_t kLutDenseKernels = 18000;
+constexpr std::uint64_t kFfDenseKernels = 15800;
+constexpr std::uint64_t kDspDenseSerpens = 158;
+constexpr std::uint64_t kDspDenseChason = 134; // merger absorbs arbiter
+
+// Chasoň additions.
+constexpr std::uint64_t kLutPerRouter = 400;    // per PE
+constexpr std::uint64_t kFfPerRouter = 500;
+constexpr std::uint64_t kLutPerReduction = 2800; // per PEG
+constexpr std::uint64_t kFfPerReduction = 3600;
+constexpr std::uint64_t kLutPerReorder = 1950;  // per channel
+constexpr std::uint64_t kFfPerReorder = 2775;
+
+// x-vector buffering: 4 dual-port BRAM36 per PE = 8 BRAM18 equivalents.
+constexpr std::uint64_t kBram18PerPe = 8;
+
+// Serpens partial-output storage per PE (calibrated to 384 total).
+constexpr std::uint64_t kUramPerSerpensPe = 3;
+
+} // namespace
+
+double
+FpgaResources::lutPercent() const
+{
+    return 100.0 * static_cast<double>(lut) / U55cDevice::kLut;
+}
+
+double
+FpgaResources::ffPercent() const
+{
+    return 100.0 * static_cast<double>(ff) / U55cDevice::kFf;
+}
+
+double
+FpgaResources::dspPercent() const
+{
+    return 100.0 * static_cast<double>(dsp) / U55cDevice::kDsp;
+}
+
+double
+FpgaResources::bram18kPercent() const
+{
+    return 100.0 * static_cast<double>(bram18k) / U55cDevice::kBram18k;
+}
+
+double
+FpgaResources::uramPercent() const
+{
+    return 100.0 * static_cast<double>(uram) / U55cDevice::kUram;
+}
+
+bool
+FpgaResources::fitsU55c() const
+{
+    return lut <= U55cDevice::kLut && ff <= U55cDevice::kFf &&
+        dsp <= U55cDevice::kDsp && bram18k <= U55cDevice::kBram18k &&
+        uram <= U55cDevice::kUram;
+}
+
+FpgaResources
+serpensResources(const ArchConfig &config)
+{
+    const std::uint64_t pes = config.sched.lanes();
+    const std::uint64_t channels = config.usedChannels();
+
+    FpgaResources r;
+    r.lut = pes * kLutPerPe + channels * kLutPerChannelInfra +
+        kLutDenseKernels;
+    r.ff = pes * kFfPerPe + channels * kFfPerChannelInfra +
+        kFfDenseKernels;
+    r.dsp = pes * (kDspPerMult + kDspPerAdd) + kDspDenseSerpens;
+    r.bram18k = pes * kBram18PerPe;
+    r.uram = pes * kUramPerSerpensPe;
+    return r;
+}
+
+std::uint64_t
+chasonUramCount(const ArchConfig &config)
+{
+    // Eq. 3 with the shipped folding: one physical URAM per ScUG slot,
+    // URAM_pvt folded into the group's budget.
+    return static_cast<std::uint64_t>(config.sched.lanes()) *
+        config.scugSize;
+}
+
+FpgaResources
+chasonResources(const ArchConfig &config)
+{
+    const std::uint64_t pes = config.sched.lanes();
+    const std::uint64_t pegs = config.sched.channels;
+    const unsigned depth = std::max(1u, config.sched.migrationDepth);
+
+    FpgaResources r = serpensResources(config);
+    r.lut += pes * kLutPerRouter + pegs * kLutPerReduction * depth +
+        pegs * kLutPerReorder;
+    r.ff += pes * kFfPerRouter + pegs * kFfPerReduction * depth +
+        pegs * kFfPerReorder;
+    // Reduction adder tree (pes-1 adders per PEG per supported distance)
+    // and the merging adders of the Rearrange Unit.
+    r.dsp = pes * (kDspPerMult + kDspPerAdd) + kDspDenseChason +
+        pegs * (config.sched.pesPerGroup() - 1) * kDspPerAdd * depth +
+        pes * kDspPerAdd;
+    r.uram = chasonUramCount(config) * depth;
+    return r;
+}
+
+} // namespace arch
+} // namespace chason

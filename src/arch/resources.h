@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FPGA resource model (Table 1, Eq. 3).
+ *
+ * Counts are built from per-component costs (PE datapath, router, ScUG,
+ * Reduction Unit, rearrange logic, AXI/stream infrastructure, dense
+ * vector kernels) calibrated so that the default Serpens and Chasoň
+ * configurations reproduce the paper's Table 1 exactly. Off-default
+ * configurations (ScUG size, migration depth, PE count ablations) scale
+ * with their component counts.
+ */
+
+#ifndef CHASON_ARCH_RESOURCES_H_
+#define CHASON_ARCH_RESOURCES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "arch/accelerator.h"
+
+namespace chason {
+namespace arch {
+
+/** One design's resource usage. */
+struct FpgaResources
+{
+    std::uint64_t lut = 0;
+    std::uint64_t ff = 0;
+    std::uint64_t dsp = 0;
+    std::uint64_t bram18k = 0;
+    std::uint64_t uram = 0;
+
+    /** Utilization percentages against the U55c device totals. */
+    double lutPercent() const;
+    double ffPercent() const;
+    double dspPercent() const;
+    double bram18kPercent() const;
+    double uramPercent() const;
+
+    /** True if the design fits the device. */
+    bool fitsU55c() const;
+};
+
+/** U55c device totals (XCU55C-2FSVH2892E). */
+struct U55cDevice
+{
+    static constexpr std::uint64_t kLut = 1304000;
+    static constexpr std::uint64_t kFf = 2607000;
+    static constexpr std::uint64_t kDsp = 9024;
+    static constexpr std::uint64_t kBram18k = 4032;
+    static constexpr std::uint64_t kUram = 960;
+};
+
+/** Resource usage of the Serpens datapath for @p config. */
+FpgaResources serpensResources(const ArchConfig &config);
+
+/** Resource usage of the Chasoň datapath for @p config. */
+FpgaResources chasonResources(const ArchConfig &config);
+
+/**
+ * URAM count following the paper's Eq. 3 accounting (channels x PEs x
+ * ScUG size): 1024 for the full ScUG of 8, 512 for the shipped 4.
+ */
+std::uint64_t chasonUramCount(const ArchConfig &config);
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_RESOURCES_H_

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Multithreaded CPU SpMV implementation.
+ */
+
+#include "baselines/cpu_spmv.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace baselines {
+
+CpuSpmv::CpuSpmv(unsigned threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+CpuSpmv::partition(const sparse::CsrMatrix &a) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+    const std::size_t per_worker =
+        (a.nnz() + threads_ - 1) / std::max(1u, threads_);
+    std::uint32_t start = 0;
+    while (start < a.rows()) {
+        std::uint32_t end = start;
+        std::size_t grabbed = 0;
+        while (end < a.rows() && (grabbed < per_worker || end == start)) {
+            grabbed += a.rowNnz(end);
+            ++end;
+        }
+        ranges.emplace_back(start, end);
+        start = end;
+    }
+    if (ranges.empty())
+        ranges.emplace_back(0, 0);
+    return ranges;
+}
+
+std::vector<float>
+CpuSpmv::run(const sparse::CsrMatrix &a, const std::vector<float> &x) const
+{
+    chason_assert(x.size() == a.cols(), "x size mismatch");
+    std::vector<float> y(a.rows(), 0.0f);
+    const auto ranges = partition(a);
+
+    auto worker = [&a, &x, &y](std::uint32_t lo, std::uint32_t hi) {
+        const auto &row_ptr = a.rowPtr();
+        const auto &col_idx = a.colIdx();
+        const auto &values = a.values();
+        for (std::uint32_t r = lo; r < hi; ++r) {
+            float acc = 0.0f;
+            for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+                acc += values[i] * x[col_idx[i]];
+            y[r] = acc;
+        }
+    };
+
+    if (ranges.size() == 1) {
+        worker(ranges[0].first, ranges[0].second);
+        return y;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(ranges.size());
+    for (auto [lo, hi] : ranges)
+        pool.emplace_back(worker, lo, hi);
+    for (std::thread &t : pool)
+        t.join();
+    return y;
+}
+
+double
+CpuSpmv::measureLatencyUs(const sparse::CsrMatrix &a,
+                          const std::vector<float> &x, unsigned warmup,
+                          unsigned iterations) const
+{
+    chason_assert(iterations > 0, "need at least one iteration");
+    for (unsigned i = 0; i < warmup; ++i)
+        (void)run(a, x);
+    const auto begin = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iterations; ++i)
+        (void)run(a, x);
+    const auto end = std::chrono::steady_clock::now();
+    const double total_us =
+        std::chrono::duration<double, std::micro>(end - begin).count();
+    return total_us / iterations;
+}
+
+} // namespace baselines
+} // namespace chason

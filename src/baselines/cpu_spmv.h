@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Executable CPU SpMV baseline.
+ *
+ * A multithreaded CSR kernel in the style of what MKL does for balanced
+ * matrices: rows are partitioned by non-zero count (not row count) so
+ * heavy rows do not serialize a thread. This is the runnable counterpart
+ * of the analytical i9/MKL model — examples use it to cross-check the
+ * accelerators' functional output and to measure a real host-side
+ * latency on the build machine.
+ */
+
+#ifndef CHASON_BASELINES_CPU_SPMV_H_
+#define CHASON_BASELINES_CPU_SPMV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/formats.h"
+
+namespace chason {
+namespace baselines {
+
+/** Multithreaded CSR SpMV engine. */
+class CpuSpmv
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit CpuSpmv(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /** y = A x, single precision. */
+    std::vector<float> run(const sparse::CsrMatrix &a,
+                           const std::vector<float> &x) const;
+
+    /**
+     * Measure the kernel on this machine: @p warmup unmeasured runs then
+     * the average wall latency of @p iterations runs, in microseconds.
+     */
+    double measureLatencyUs(const sparse::CsrMatrix &a,
+                            const std::vector<float> &x,
+                            unsigned warmup = 3,
+                            unsigned iterations = 10) const;
+
+  private:
+    unsigned threads_;
+
+    /** NNZ-balanced row ranges, one per worker. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    partition(const sparse::CsrMatrix &a) const;
+};
+
+} // namespace baselines
+} // namespace chason
+
+#endif // CHASON_BASELINES_CPU_SPMV_H_

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Baseline device model implementation and calibration constants.
+ */
+
+#include "baselines/device_models.h"
+
+#include "common/logging.h"
+
+namespace chason {
+namespace baselines {
+
+DeviceSpec
+DeviceSpec::rtx4090()
+{
+    DeviceSpec spec;
+    spec.name = "RTX 4090 (cuSparse)";
+    spec.dramBandwidthGBps = 1008.0; // GDDR6X, 384-bit
+    spec.cacheBandwidthGBps = 1100.0; // 72 MB L2
+    spec.cacheBytes = 72.0 * 1024 * 1024;
+    // The paper drives cuSparse through CUDA 10.1-era host code with a
+    // sync per call; measured dispatch overheads there are tens of us.
+    spec.dispatchOverheadUs = 55.0;
+    spec.sparseEfficiency = 0.17;
+    spec.averagePowerW = 70.0;
+    return spec;
+}
+
+DeviceSpec
+DeviceSpec::rtxA6000Ada()
+{
+    DeviceSpec spec;
+    spec.name = "RTX A6000 Ada (cuSparse)";
+    spec.dramBandwidthGBps = 768.0; // GDDR6, 384-bit
+    spec.cacheBandwidthGBps = 900.0; // 96 MB L2
+    spec.cacheBytes = 96.0 * 1024 * 1024;
+    spec.dispatchOverheadUs = 22.0;
+    spec.sparseEfficiency = 0.40;
+    spec.averagePowerW = 65.0;
+    return spec;
+}
+
+DeviceSpec
+DeviceSpec::corei9_11980hk()
+{
+    DeviceSpec spec;
+    spec.name = "Core i9-11980HK (MKL)";
+    spec.dramBandwidthGBps = 51.2; // DDR4-3200, 2 channels
+    spec.cacheBandwidthGBps = 220.0; // 24 MB L3
+    spec.cacheBytes = 24.0 * 1024 * 1024;
+    spec.dispatchOverheadUs = 4.0; // threading fork/join
+    spec.sparseEfficiency = 0.50;
+    spec.averagePowerW = 132.0;
+    return spec;
+}
+
+AnalyticalSpmvModel::AnalyticalSpmvModel(DeviceSpec spec)
+    : spec_(std::move(spec))
+{
+    chason_assert(spec_.cacheBandwidthGBps > 0.0 &&
+                      spec_.dramBandwidthGBps > 0.0,
+                  "device '%s' needs bandwidth numbers",
+                  spec_.name.c_str());
+}
+
+std::uint64_t
+AnalyticalSpmvModel::trafficBytes(std::size_t nnz, std::uint32_t rows,
+                                  std::uint32_t cols)
+{
+    // CSR values (4 B) + column indices (4 B) per non-zero, row pointers,
+    // x read and y read+write.
+    return static_cast<std::uint64_t>(nnz) * 8 +
+        static_cast<std::uint64_t>(rows) * 12 +
+        static_cast<std::uint64_t>(cols) * 4;
+}
+
+double
+AnalyticalSpmvModel::latencyUs(std::size_t nnz, std::uint32_t rows,
+                               std::uint32_t cols) const
+{
+    const double bytes =
+        static_cast<double>(trafficBytes(nnz, rows, cols));
+    const double resident_bw = bytes <= spec_.cacheBytes
+        ? spec_.cacheBandwidthGBps
+        : spec_.dramBandwidthGBps;
+    const double effective_gbps = resident_bw * spec_.sparseEfficiency;
+    return spec_.dispatchOverheadUs + bytes / (effective_gbps * 1e3);
+}
+
+double
+AnalyticalSpmvModel::gflops(std::size_t nnz, std::uint32_t rows,
+                            std::uint32_t cols) const
+{
+    const double flops =
+        2.0 * (static_cast<double>(nnz) + static_cast<double>(cols));
+    return flops / (latencyUs(nnz, rows, cols) * 1e3);
+}
+
+double
+AnalyticalSpmvModel::energyEfficiency(std::size_t nnz, std::uint32_t rows,
+                                      std::uint32_t cols) const
+{
+    chason_assert(spec_.averagePowerW > 0.0, "device power unknown");
+    return gflops(nnz, rows, cols) / spec_.averagePowerW;
+}
+
+double
+AnalyticalSpmvModel::latencyUs(const sparse::CsrMatrix &a) const
+{
+    return latencyUs(a.nnz(), a.rows(), a.cols());
+}
+
+double
+AnalyticalSpmvModel::gflops(const sparse::CsrMatrix &a) const
+{
+    return gflops(a.nnz(), a.rows(), a.cols());
+}
+
+double
+AnalyticalSpmvModel::energyEfficiency(const sparse::CsrMatrix &a) const
+{
+    return energyEfficiency(a.nnz(), a.rows(), a.cols());
+}
+
+} // namespace baselines
+} // namespace chason

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Float <-> bit-pattern conversions (kept out of line so the header stays
+ * free of <cstring>).
+ */
+
+#include "common/bitfield.h"
+
+#include <cstring>
+
+namespace chason {
+
+std::uint32_t
+floatToBits(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+float
+bitsToFloat(std::uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+} // namespace chason

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bit-field extraction and insertion helpers.
+ *
+ * The CrHCS sparse-element encoding (Section 3.2 of the paper) packs a
+ * 32-bit value, 15-bit row, 1-bit pvt flag, 3-bit PE_src and 13-bit column
+ * into one 64-bit word; these helpers keep that packing readable and
+ * checked.
+ */
+
+#ifndef CHASON_COMMON_BITFIELD_H_
+#define CHASON_COMMON_BITFIELD_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace chason {
+
+/** Mask with the low @p width bits set. Requires width in [0, 64]. */
+constexpr std::uint64_t
+maskBits(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+/** Extract @p width bits of @p word starting at bit @p lsb. */
+constexpr std::uint64_t
+extractBits(std::uint64_t word, unsigned lsb, unsigned width)
+{
+    return (word >> lsb) & maskBits(width);
+}
+
+/**
+ * Return @p word with @p width bits at @p lsb replaced by the low bits of
+ * @p value. Panics if @p value does not fit in @p width bits.
+ */
+inline std::uint64_t
+insertBits(std::uint64_t word, unsigned lsb, unsigned width,
+           std::uint64_t value)
+{
+    chason_assert((value & ~maskBits(width)) == 0,
+                  "value 0x%llx does not fit in %u bits",
+                  static_cast<unsigned long long>(value), width);
+    const std::uint64_t mask = maskBits(width) << lsb;
+    return (word & ~mask) | (value << lsb);
+}
+
+/** Reinterpret a float's bit pattern as uint32 (constexpr-free, safe). */
+std::uint32_t floatToBits(float f);
+
+/** Reinterpret a uint32 bit pattern as a float. */
+float bitsToFloat(std::uint32_t bits);
+
+} // namespace chason
+
+#endif // CHASON_COMMON_BITFIELD_H_

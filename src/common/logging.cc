@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the status and error reporting helpers.
+ */
+
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chason {
+
+namespace {
+
+bool inform_enabled = true;
+
+void
+vreport(const char *tag, const char *file, int line, const char *fmt,
+        va_list args)
+{
+    std::fflush(stdout);
+    if (file) {
+        std::fprintf(stderr, "%s: %s:%d: ", tag, file, line);
+    } else {
+        std::fprintf(stderr, "%s: ", tag);
+    }
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!inform_enabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    inform_enabled = enabled;
+}
+
+void
+assertFailed(const char *file, int line, const char *condition)
+{
+    std::fflush(stdout);
+    std::fprintf(stderr, "panic: %s:%d: assertion '%s' failed.\n", file,
+                 line, condition);
+}
+
+} // namespace chason

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * Severity levels:
+ *  - panic():  an internal invariant was violated; this is a bug in the
+ *              library itself. Aborts (may dump core).
+ *  - fatal():  the simulation cannot continue because of a user-level
+ *              problem (bad configuration, malformed input). Exits with
+ *              status 1.
+ *  - warn():   something is questionable but execution continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef CHASON_COMMON_LOGGING_H_
+#define CHASON_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace chason {
+
+/** Print an internal-bug message with source location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a user-error message with source location and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/**
+ * Report a failed assertion condition (printed verbatim, so condition
+ * text containing '%' is safe), then return so the caller can emit its
+ * formatted detail and abort.
+ */
+void assertFailed(const char *file, int line, const char *condition);
+
+} // namespace chason
+
+#define chason_panic(...) \
+    ::chason::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define chason_fatal(...) \
+    ::chason::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * Always-on invariant check. Unlike assert() this is active in release
+ * builds; the simulator relies on these checks for functional-correctness
+ * guarantees.
+ */
+#define chason_assert(cond, ...)                                         \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::chason::assertFailed(__FILE__, __LINE__, #cond);            \
+            ::chason::panicImpl(__FILE__, __LINE__, " " __VA_ARGS__);     \
+        }                                                                 \
+    } while (0)
+
+#endif // CHASON_COMMON_LOGGING_H_

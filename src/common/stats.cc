@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Implementation of the statistics helpers.
+ */
+
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace chason {
+
+void
+SummaryStats::add(double sample)
+{
+    samples_.push_back(sample);
+    sortedValid_ = false;
+}
+
+void
+SummaryStats::add(const std::vector<double> &samples)
+{
+    samples_.insert(samples_.end(), samples.begin(), samples.end());
+    sortedValid_ = false;
+}
+
+const std::vector<double> &
+SummaryStats::sorted() const
+{
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+    return sorted_;
+}
+
+double
+SummaryStats::min() const
+{
+    chason_assert(!empty(), "min of empty sample set");
+    return sorted().front();
+}
+
+double
+SummaryStats::max() const
+{
+    chason_assert(!empty(), "max of empty sample set");
+    return sorted().back();
+}
+
+double
+SummaryStats::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+SummaryStats::mean() const
+{
+    chason_assert(!empty(), "mean of empty sample set");
+    return sum() / static_cast<double>(count());
+}
+
+double
+SummaryStats::geomean() const
+{
+    chason_assert(!empty(), "geomean of empty sample set");
+    double log_sum = 0.0;
+    for (double s : samples_) {
+        chason_assert(s > 0.0, "geomean requires positive samples");
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / static_cast<double>(count()));
+}
+
+double
+SummaryStats::stddev() const
+{
+    chason_assert(!empty(), "stddev of empty sample set");
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(count()));
+}
+
+double
+SummaryStats::percentile(double p) const
+{
+    chason_assert(!empty(), "percentile of empty sample set");
+    chason_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
+    const auto &v = sorted();
+    if (v.size() == 1)
+        return v.front();
+    const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= v.size())
+        return v.back();
+    return v[idx] * (1.0 - frac) + v[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    chason_assert(hi > lo, "histogram range must be non-empty");
+    chason_assert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    double clamped = std::clamp(sample, lo_, hi_);
+    auto bin = static_cast<std::size_t>((clamped - lo_) / width_);
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+void
+Histogram::add(const std::vector<double> &samples)
+{
+    for (double s : samples)
+        add(s);
+}
+
+std::size_t
+Histogram::count(std::size_t bin) const
+{
+    chason_assert(bin < counts_.size(), "histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    chason_assert(bin < counts_.size(), "histogram bin out of range");
+    return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double
+Histogram::frequency(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double
+Histogram::density(std::size_t bin) const
+{
+    return frequency(bin) / width_;
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+KdePdf::KdePdf(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)), bandwidth_(bandwidth)
+{
+    chason_assert(!samples_.empty(), "KDE over empty sample set");
+    if (bandwidth_ <= 0.0) {
+        // Silverman's rule of thumb: 1.06 * sigma * n^(-1/5).
+        SummaryStats st;
+        st.add(samples_);
+        double sigma = st.stddev();
+        if (sigma <= 0.0)
+            sigma = 1.0; // degenerate sample set; any bandwidth works
+        bandwidth_ = 1.06 * sigma *
+            std::pow(static_cast<double>(samples_.size()), -0.2);
+    }
+}
+
+double
+KdePdf::density(double x) const
+{
+    const double inv_h = 1.0 / bandwidth_;
+    const double norm =
+        inv_h / (std::sqrt(2.0 * M_PI) * static_cast<double>(samples_.size()));
+    double acc = 0.0;
+    for (double s : samples_) {
+        const double z = (x - s) * inv_h;
+        acc += std::exp(-0.5 * z * z);
+    }
+    return acc * norm;
+}
+
+double
+KdePdf::peak(double lo, double hi, std::size_t steps) const
+{
+    chason_assert(steps >= 2, "peak scan needs at least two points");
+    double best_x = lo;
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(steps - 1);
+        const double d = density(x);
+        if (d > best_d) {
+            best_d = d;
+            best_x = x;
+        }
+    }
+    return best_x;
+}
+
+std::vector<std::pair<double, double>>
+KdePdf::evaluate(double lo, double hi, std::size_t steps) const
+{
+    chason_assert(steps >= 2, "evaluate needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) /
+            static_cast<double>(steps - 1);
+        out.emplace_back(x, density(x));
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    SummaryStats st;
+    st.add(values);
+    return st.geomean();
+}
+
+} // namespace chason

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Summary statistics, histograms and kernel-density estimates.
+ *
+ * The paper reports several results as probability density functions over
+ * matrix corpora (Figs. 3, 11, 12); KdePdf reproduces those curves. The
+ * speedup figures use geometric means, provided by SummaryStats.
+ */
+
+#ifndef CHASON_COMMON_STATS_H_
+#define CHASON_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace chason {
+
+/**
+ * Accumulates samples and answers the usual descriptive questions.
+ * Percentile queries sort a copy lazily; cheap at corpus scale.
+ */
+class SummaryStats
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Add a batch of samples. */
+    void add(const std::vector<double> &samples);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double sum() const;
+    double mean() const;
+
+    /** Geometric mean; all samples must be positive. */
+    double geomean() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Linear-interpolated percentile; p in [0, 100]. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+    /** Read-only access to the raw samples in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+
+    const std::vector<double> &sorted() const;
+};
+
+/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+    void add(const std::vector<double> &samples);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    std::size_t count(std::size_t bin) const;
+
+    /** Center of a bin's interval. */
+    double binCenter(std::size_t bin) const;
+
+    /** Fraction of samples in a bin. */
+    double frequency(std::size_t bin) const;
+
+    /** Density (frequency / bin width), integrates to ~1. */
+    double density(std::size_t bin) const;
+
+    /** Index of the most populated bin. */
+    std::size_t modeBin() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Gaussian kernel density estimate over a sample set, evaluated on a
+ * uniform grid. Bandwidth defaults to Silverman's rule of thumb.
+ */
+class KdePdf
+{
+  public:
+    /**
+     * @param samples   the observations
+     * @param bandwidth kernel bandwidth; <= 0 selects Silverman's rule
+     */
+    explicit KdePdf(std::vector<double> samples, double bandwidth = 0.0);
+
+    /** Density at point x. */
+    double density(double x) const;
+
+    /** The bandwidth in use. */
+    double bandwidth() const { return bandwidth_; }
+
+    /** Location of the density peak over a scan of [lo, hi]. */
+    double peak(double lo, double hi, std::size_t steps = 512) const;
+
+    /**
+     * Evaluate the density on a uniform grid of @p steps points spanning
+     * [lo, hi]; returns (x, pdf(x)) pairs — the series plotted in the
+     * paper's PDF figures.
+     */
+    std::vector<std::pair<double, double>>
+    evaluate(double lo, double hi, std::size_t steps) const;
+
+  private:
+    std::vector<double> samples_;
+    double bandwidth_;
+};
+
+/** Geometric mean of a vector (convenience wrapper). */
+double geomean(const std::vector<double> &values);
+
+} // namespace chason
+
+#endif // CHASON_COMMON_STATS_H_

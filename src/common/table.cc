@@ -1,0 +1,96 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace chason {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::toString() const
+{
+    // Determine per-column widths over header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << "  ";
+            out << row[i];
+            if (i + 1 < row.size())
+                out << std::string(widths[i] - row[i].size(), ' ');
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::speedup(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace chason

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness.
+ *
+ * Every bench binary prints the rows of a paper table or the series of a
+ * paper figure; TextTable renders them with aligned columns so the output
+ * is directly comparable to the paper.
+ */
+
+#ifndef CHASON_COMMON_TABLE_H_
+#define CHASON_COMMON_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chason {
+
+/** Column-aligned text table with an optional header row. */
+class TextTable
+{
+  public:
+    /** Set the header row (rendered with a separator underneath). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; rows may have differing lengths. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the table. */
+    std::string toString() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helpers used throughout the benches. */
+    static std::string num(double v, int precision = 3);
+    static std::string pct(double v, int precision = 1);
+    static std::string speedup(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace chason
+
+#endif // CHASON_COMMON_TABLE_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * JSON serialization of reports — the machine-readable counterpart of
+ * the benches' text tables, for downstream plotting/tooling.
+ *
+ * The emitter is deliberately tiny (no external dependency): flat
+ * objects, arrays of numbers, RFC 8259-compliant string escaping.
+ */
+
+#ifndef CHASON_CORE_REPORT_JSON_H_
+#define CHASON_CORE_REPORT_JSON_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/spmm.h"
+#include "sched/analyzer.h"
+
+namespace chason {
+namespace core {
+
+/** Escape a string for inclusion in JSON output. */
+std::string jsonEscape(const std::string &raw);
+
+/** One SpMV report as a JSON object. */
+std::string toJson(const SpmvReport &report);
+
+/** One SpMM report as a JSON object. */
+std::string toJson(const SpmmReport &report);
+
+/** Schedule statistics as a JSON object. */
+std::string toJson(const sched::ScheduleStats &stats);
+
+/** A Chasoň/Serpens comparison as a JSON object. */
+std::string toJson(const Comparison &comparison);
+
+} // namespace core
+} // namespace chason
+
+#endif // CHASON_CORE_REPORT_JSON_H_

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Schedule cache implementation.
+ */
+
+#include "core/schedule_cache.h"
+
+#include "common/bitfield.h"
+#include "common/logging.h"
+
+namespace chason {
+namespace core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffsetA = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvOffsetB = 0x84222325cbf29ce4ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void
+mix(std::uint64_t &h, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (value >> (byte * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+MatrixFingerprint
+fingerprint(const sparse::CsrMatrix &a)
+{
+    MatrixFingerprint fp{kFnvOffsetA, kFnvOffsetB};
+    mix(fp.lo, a.rows());
+    mix(fp.hi, a.cols());
+    mix(fp.lo, a.nnz());
+    mix(fp.hi, a.nnz() * 0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i <= a.rows(); ++i)
+        mix(fp.lo, a.rowPtr()[i]);
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+        mix(fp.lo, a.colIdx()[i]);
+        mix(fp.hi,
+            (static_cast<std::uint64_t>(a.colIdx()[i]) << 32) |
+                floatToBits(a.values()[i]));
+    }
+    return fp;
+}
+
+ScheduleCache::ScheduleCache(const Engine &engine, std::size_t capacity)
+    : engine_(engine), capacity_(capacity)
+{
+    chason_assert(capacity_ >= 1, "cache needs capacity for one entry");
+}
+
+const sched::Schedule &
+ScheduleCache::get(const sparse::CsrMatrix &a)
+{
+    const MatrixFingerprint key = fingerprint(a);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->key == key) {
+            ++hits_;
+            entries_.splice(entries_.begin(), entries_, it);
+            return entries_.front().schedule;
+        }
+    }
+
+    ++misses_;
+    if (entries_.size() >= capacity_) {
+        entries_.pop_back();
+        ++evictions_;
+    }
+    entries_.push_front(Entry{key, engine_.schedule(a)});
+    return entries_.front().schedule;
+}
+
+void
+ScheduleCache::clear()
+{
+    entries_.clear();
+}
+
+} // namespace core
+} // namespace chason

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LRU cache of offline schedules.
+ *
+ * CrHCS scheduling is host-side preprocessing; iterative applications
+ * (PageRank, CG, GNN layers) reuse one schedule across thousands of
+ * runs, and services multiplexing several matrices want to keep the hot
+ * ones resident. ScheduleCache keys schedules by a structural+value
+ * fingerprint of the matrix and evicts least-recently-used entries.
+ */
+
+#ifndef CHASON_CORE_SCHEDULE_CACHE_H_
+#define CHASON_CORE_SCHEDULE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/engine.h"
+
+namespace chason {
+namespace core {
+
+/** 128-bit matrix fingerprint (two independent FNV-1a streams). */
+struct MatrixFingerprint
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    friend bool operator==(const MatrixFingerprint &,
+                           const MatrixFingerprint &) = default;
+};
+
+/** Fingerprint a CSR matrix: dimensions, structure and values. */
+MatrixFingerprint fingerprint(const sparse::CsrMatrix &a);
+
+/** LRU schedule cache in front of one Engine's scheduler. */
+class ScheduleCache
+{
+  public:
+    /**
+     * @param engine   the engine whose scheduler fills misses; must
+     *                 outlive the cache
+     * @param capacity max resident schedules (>= 1)
+     */
+    ScheduleCache(const Engine &engine, std::size_t capacity = 8);
+
+    /**
+     * The schedule for @p a: cached if fingerprints match, freshly
+     * scheduled (and cached) otherwise. The reference stays valid until
+     * the entry is evicted — at most `capacity - 1` further get() calls
+     * with distinct matrices.
+     */
+    const sched::Schedule &get(const sparse::CsrMatrix &a);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Drop everything (counters are kept). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        MatrixFingerprint key;
+        sched::Schedule schedule;
+    };
+
+    const Engine &engine_;
+    std::size_t capacity_;
+    std::list<Entry> entries_; // front = most recently used
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace core
+} // namespace chason
+
+#endif // CHASON_CORE_SCHEDULE_CACHE_H_

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Chasoň for SpMM (Section 7.2): C = A * B with a dense B.
+ *
+ * The paper sketches the extension after the Sextans blueprint: 8 HBM
+ * channels stream the CrHCS-scheduled sparse A, 4 channels stream the
+ * dense B, and 8 channels write C back; the ScUG URAMs widen to hold
+ * one partial sum per concurrently-processed B column. This module
+ * implements that design point on the simulator:
+ *
+ *  - B is processed in tiles of `bTileCols` columns (default 8, the MAC
+ *    width of a Sextans-style PE). A tile's columns are computed
+ *    concurrently; A is re-streamed once per tile.
+ *  - Scheduling is unchanged — the same CrHCS/PE-aware schedules drive
+ *    SpMM, so all of the paper's underutilization results carry over.
+ *  - Functional execution runs the real datapath simulation once per B
+ *    column (verifying the banks/reduction for every column); timing
+ *    follows the tile model with B loads double-buffered like x.
+ */
+
+#ifndef CHASON_CORE_SPMM_H_
+#define CHASON_CORE_SPMM_H_
+
+#include "core/engine.h"
+
+namespace chason {
+namespace core {
+
+/** SpMM-mode channel allocation and tiling (Section 7.2). */
+struct SpmmConfig
+{
+    /** Matrix-A channels (8 in the paper's SpMM allocation). */
+    unsigned aChannels = 8;
+
+    /** Dense-B channels. */
+    unsigned bChannels = 4;
+
+    /** C write channels. */
+    unsigned cChannels = 8;
+
+    /** B columns processed concurrently per PE (MAC width). */
+    unsigned bTileCols = 8;
+
+    /** Channels used in total (29 in the paper: 8+4+8 plus x/y/inst). */
+    unsigned usedChannels() const
+    {
+        return aChannels + bChannels + cChannels + 1; // + descriptor
+    }
+};
+
+/** Everything reported about one SpMM run. */
+struct SpmmReport
+{
+    std::string accelerator;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;   ///< inner dimension (columns of A)
+    std::uint32_t nCols = 0;  ///< columns of B and C
+    std::size_t nnz = 0;
+    unsigned tiles = 0;       ///< ceil(nCols / bTileCols)
+
+    double frequencyMhz = 0.0;
+    std::uint64_t cycles = 0;
+    double latencyMs = 0.0;
+    double gflops = 0.0; ///< 2 * NNZ * N / latency
+    double underutilizationPercent = 0.0;
+    double functionalError = 0.0;
+};
+
+/**
+ * SpMM engine: schedules A once, then executes C = A * B.
+ * B and C are dense, column-major (column j at offset j * rows).
+ */
+class SpmmEngine
+{
+  public:
+    explicit SpmmEngine(Engine::Kind kind, SpmmConfig spmm_config = {},
+                        arch::ArchConfig arch_config = {});
+
+    const SpmmConfig &spmmConfig() const { return spmmConfig_; }
+    const Engine &spmvEngine() const { return engine_; }
+
+    /**
+     * Compute C = alpha * A * B + beta * C_in (Eq. 8).
+     * @param b      column-major dense matrix, size a.cols() * n_cols
+     * @param n_cols columns of B
+     * @param c_out  optional column-major result, size a.rows() * n_cols
+     * @param alpha  Eq. 8 scaling of the product (default 1)
+     * @param beta   Eq. 8 blending of @p c_in (default 0)
+     * @param c_in   previous C, required when beta != 0
+     */
+    SpmmReport run(const sparse::CsrMatrix &a,
+                   const std::vector<float> &b, std::uint32_t n_cols,
+                   std::vector<float> *c_out = nullptr,
+                   float alpha = 1.0f, float beta = 0.0f,
+                   const std::vector<float> *c_in = nullptr) const;
+
+  private:
+    SpmmConfig spmmConfig_;
+    Engine engine_;
+};
+
+/** Reference dense-output SpMM in double precision (column-major C). */
+std::vector<double> spmmReference(const sparse::CsrMatrix &a,
+                                  const std::vector<float> &b,
+                                  std::uint32_t n_cols);
+
+} // namespace core
+} // namespace chason
+
+#endif // CHASON_CORE_SPMM_H_

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * HBM device model implementation.
+ */
+
+#include "hbm/hbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace hbm {
+
+HbmConfig
+HbmConfig::alveoU55c()
+{
+    HbmConfig cfg;
+    cfg.totalChannels = 32;
+    cfg.channelBits = 512;
+    cfg.channelBandwidthGBps = 14.37;
+    cfg.capacityGiB = 16.0;
+    return cfg;
+}
+
+HbmConfig
+HbmConfig::alveoU280()
+{
+    HbmConfig cfg;
+    cfg.totalChannels = 32;
+    cfg.channelBits = 512;
+    cfg.channelBandwidthGBps = 8.53; // 273 GB/s aggregate
+    cfg.capacityGiB = 8.0;
+    return cfg;
+}
+
+void
+ChannelCounter::recordBeats(Direction dir, std::uint64_t beats,
+                            unsigned bytes_per_beat)
+{
+    if (dir == Direction::Read) {
+        readBeats_ += beats;
+        readBytes_ += beats * bytes_per_beat;
+    } else {
+        writeBeats_ += beats;
+        writeBytes_ += beats * bytes_per_beat;
+    }
+}
+
+void
+ChannelCounter::reset()
+{
+    *this = ChannelCounter();
+}
+
+HbmDevice::HbmDevice(const HbmConfig &config)
+    : config_(config), counters_(config.totalChannels)
+{
+    chason_assert(config.totalChannels > 0, "HBM needs channels");
+    chason_assert(config.channelBits % 8 == 0, "channel width in bits "
+                  "must be byte aligned");
+}
+
+void
+HbmDevice::recordBeats(unsigned ch, Direction dir, std::uint64_t beats)
+{
+    chason_assert(ch < counters_.size(), "channel %u out of range", ch);
+    counters_[ch].recordBeats(dir, beats, config_.bytesPerBeat());
+}
+
+const ChannelCounter &
+HbmDevice::channel(unsigned ch) const
+{
+    chason_assert(ch < counters_.size(), "channel %u out of range", ch);
+    return counters_[ch];
+}
+
+std::uint64_t
+HbmDevice::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &counter : counters_)
+        total += counter.totalBytes();
+    return total;
+}
+
+std::uint64_t
+HbmDevice::totalBeats() const
+{
+    std::uint64_t total = 0;
+    for (const auto &counter : counters_)
+        total += counter.readBeats() + counter.writeBeats();
+    return total;
+}
+
+double
+HbmDevice::achievedBandwidthGBps(std::uint64_t cycles,
+                                 double frequency_mhz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (frequency_mhz * 1e6);
+    return static_cast<double>(totalBytes()) / seconds / 1e9;
+}
+
+void
+HbmDevice::reset()
+{
+    for (auto &counter : counters_)
+        counter.reset();
+}
+
+std::uint64_t
+minCyclesForBytes(const HbmConfig &config, unsigned used_channels,
+                  std::uint64_t bytes, double frequency_mhz)
+{
+    chason_assert(used_channels > 0 &&
+                      used_channels <= config.totalChannels,
+                  "bad channel count %u", used_channels);
+    // A channel can issue one beat per cycle, but never more bytes per
+    // second than its peak bandwidth allows.
+    const double beat_rate_gbps =
+        frequency_mhz * 1e6 * config.bytesPerBeat() / 1e9;
+    const double per_channel_gbps =
+        std::min(beat_rate_gbps, config.channelBandwidthGBps);
+    const double seconds = static_cast<double>(bytes) /
+        (per_channel_gbps * 1e9 * used_channels);
+    return static_cast<std::uint64_t>(
+        std::ceil(seconds * frequency_mhz * 1e6));
+}
+
+} // namespace hbm
+} // namespace chason

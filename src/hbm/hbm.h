@@ -1,0 +1,144 @@
+/**
+ * @file
+ * High-bandwidth memory device model.
+ *
+ * Models the HBM2 stacks of the AMD Xilinx Alveo U55c at the granularity
+ * the streaming accelerators care about: independent pseudo channels, a
+ * 512-bit AXI data path per channel (one "beat" per kernel clock cycle),
+ * per-channel peak bandwidth, and byte/beat transfer accounting. The
+ * paper's designs are fully streaming, so a channel is busy for exactly
+ * one beat per 64-byte line it delivers; contention and row-buffer
+ * effects inside the stack are abstracted into the per-channel peak
+ * bandwidth (Section 5.1: 14.37 GB/s per channel, 460 GB/s aggregate).
+ */
+
+#ifndef CHASON_HBM_HBM_H_
+#define CHASON_HBM_HBM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chason {
+namespace hbm {
+
+/** Static description of an HBM-equipped platform. */
+struct HbmConfig
+{
+    /** Total pseudo channels exposed by the stacks. */
+    unsigned totalChannels = 32;
+
+    /** AXI data width per channel in bits (512 on the U55c). */
+    unsigned channelBits = 512;
+
+    /** Peak bandwidth per channel in GB/s. */
+    double channelBandwidthGBps = 14.37;
+
+    /** Capacity in GiB (16 on the U55c). */
+    double capacityGiB = 16.0;
+
+    /** Bytes moved by one beat. */
+    unsigned bytesPerBeat() const { return channelBits / 8; }
+
+    /** Aggregate peak bandwidth in GB/s. */
+    double peakBandwidthGBps() const
+    {
+        return channelBandwidthGBps * totalChannels;
+    }
+
+    /** The Alveo U55c (the paper's platform). */
+    static HbmConfig alveoU55c();
+
+    /** The Alveo U280 (Serpens' original platform; 460 -> 273 GB/s). */
+    static HbmConfig alveoU280();
+};
+
+/** Direction of a channel transfer. */
+enum class Direction
+{
+    Read,
+    Write,
+};
+
+/**
+ * Transfer accounting for one pseudo channel. The simulators record one
+ * beat per streamed 512-bit line; totals feed the bandwidth-efficiency
+ * metric (Eq. 7) and the data-transfer-reduction results (Fig. 15).
+ */
+class ChannelCounter
+{
+  public:
+    void recordBeats(Direction dir, std::uint64_t beats,
+                     unsigned bytes_per_beat);
+
+    std::uint64_t readBeats() const { return readBeats_; }
+    std::uint64_t writeBeats() const { return writeBeats_; }
+    std::uint64_t readBytes() const { return readBytes_; }
+    std::uint64_t writeBytes() const { return writeBytes_; }
+    std::uint64_t totalBytes() const { return readBytes_ + writeBytes_; }
+
+    void reset();
+
+  private:
+    std::uint64_t readBeats_ = 0;
+    std::uint64_t writeBeats_ = 0;
+    std::uint64_t readBytes_ = 0;
+    std::uint64_t writeBytes_ = 0;
+};
+
+/**
+ * An HBM device: a bundle of channel counters plus the static config.
+ * Channels are identified by index; the accelerator decides the role of
+ * each (matrix stream, vector load, result writeback, instruction feed).
+ */
+class HbmDevice
+{
+  public:
+    explicit HbmDevice(const HbmConfig &config);
+
+    const HbmConfig &config() const { return config_; }
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(counters_.size());
+    }
+
+    /** Record @p beats 512-bit beats on channel @p ch. */
+    void recordBeats(unsigned ch, Direction dir, std::uint64_t beats);
+
+    const ChannelCounter &channel(unsigned ch) const;
+
+    /** Total bytes moved across all channels. */
+    std::uint64_t totalBytes() const;
+
+    /** Total beats across all channels (read + write). */
+    std::uint64_t totalBeats() const;
+
+    /**
+     * Achieved bandwidth in GB/s given the kernel ran for @p cycles at
+     * @p frequency_mhz. Returns 0 for a zero-cycle run.
+     */
+    double achievedBandwidthGBps(std::uint64_t cycles,
+                                 double frequency_mhz) const;
+
+    /** Reset all counters (between runs). */
+    void reset();
+
+  private:
+    HbmConfig config_;
+    std::vector<ChannelCounter> counters_;
+};
+
+/**
+ * Minimum kernel cycles needed to move @p bytes through @p used_channels
+ * at @p frequency_mhz without exceeding per-channel peak bandwidth. The
+ * streaming designs run at one beat/cycle, which stays under the HBM
+ * peak whenever frequency * 64 B <= 14.37 GB/s; this helper lets tests
+ * verify that claim for the paper's clock rates.
+ */
+std::uint64_t minCyclesForBytes(const HbmConfig &config, unsigned used_channels,
+                                std::uint64_t bytes, double frequency_mhz);
+
+} // namespace hbm
+} // namespace chason
+
+#endif // CHASON_HBM_HBM_H_

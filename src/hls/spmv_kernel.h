@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The Fig. 6 dataflow expressed as TAPA-style tasks.
+ *
+ * This is the shape of the shipped HLS artifact: per matrix channel a
+ * free-running reader task and a PEG task, all feeding a Merger task
+ * over bounded FIFO streams. It executes the *same* offline schedules
+ * as the beat-level simulator and must produce bit-identical results
+ * (asserted by tests/hls/test_dataflow.cc) — demonstrating that the
+ * paper's task decomposition (Read -> PEG -> Reduction -> Re-order/
+ * Merge -> write) is functionally equivalent to the monolithic model.
+ *
+ * Scope: the functional dataflow with depth-1 migration (the paper's
+ * configuration). Timing is the simulator's job; this layer checks
+ * structure (FIFO ordering, end-of-stream handling, per-pass
+ * synchronization between 16 producers and one consumer).
+ */
+
+#ifndef CHASON_HLS_SPMV_KERNEL_H_
+#define CHASON_HLS_SPMV_KERNEL_H_
+
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace chason {
+namespace hls {
+
+/**
+ * Execute y = A x as the Fig. 6 dataflow.
+ * Requires a schedule with migrationDepth <= 1 (the paper's design).
+ */
+std::vector<float> runDataflowSpmv(const sched::Schedule &schedule,
+                                   const std::vector<float> &x);
+
+} // namespace hls
+} // namespace chason
+
+#endif // CHASON_HLS_SPMV_KERNEL_H_

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A miniature TAPA-style dataflow runtime.
+ *
+ * The real Chasoň is written against the TAPA framework: a graph of
+ * free-running tasks connected by bounded FIFO streams, synthesized by
+ * Vitis HLS. This header provides just enough of that programming
+ * model — `Stream<T>` (bounded, closable FIFO) and `TaskGroup`
+ * (spawn/join of concurrent tasks) — to express the paper's Fig. 6
+ * dataflow as host-executable C++. Tasks run as real threads, so FIFO
+ * backpressure, ordering and end-of-stream handling behave like the
+ * hardware's; a kernel that deadlocks here would deadlock on the board
+ * for the same structural reason.
+ */
+
+#ifndef CHASON_HLS_TAPA_STUB_H_
+#define CHASON_HLS_TAPA_STUB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace hls {
+
+/**
+ * Bounded FIFO stream with close semantics. write() blocks when full,
+ * read() blocks when empty and returns nullopt once the stream is
+ * closed and drained — the `eot` (end of transaction) convention of
+ * TAPA streams.
+ */
+template <typename T>
+class Stream
+{
+  public:
+    explicit Stream(std::size_t depth = 2) : depth_(depth)
+    {
+        chason_assert(depth_ >= 1, "stream needs depth >= 1");
+    }
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    /** Blocking write; panics if the stream was already closed. */
+    void
+    write(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [this] {
+            return queue_.size() < depth_ || closed_;
+        });
+        chason_assert(!closed_, "write to a closed stream");
+        queue_.push_back(std::move(value));
+        notEmpty_.notify_one();
+    }
+
+    /** Blocking read; nullopt after close-and-drain. */
+    std::optional<T>
+    read()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock, [this] {
+            return !queue_.empty() || closed_;
+        });
+        if (queue_.empty())
+            return std::nullopt;
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        notFull_.notify_one();
+        return value;
+    }
+
+    /** Signal end of transaction. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    std::size_t depth_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+    std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+};
+
+/** Spawn-and-join group of concurrent tasks (TAPA's task().invoke). */
+class TaskGroup
+{
+  public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    ~TaskGroup() { join(); }
+
+    /** Launch one task. */
+    void
+    invoke(std::function<void()> task)
+    {
+        threads_.emplace_back(std::move(task));
+    }
+
+    /** Wait for every task to finish. */
+    void
+    join()
+    {
+        for (std::thread &t : threads_) {
+            if (t.joinable())
+                t.join();
+        }
+        threads_.clear();
+    }
+
+  private:
+    std::vector<std::thread> threads_;
+};
+
+} // namespace hls
+} // namespace chason
+
+#endif // CHASON_HLS_TAPA_STUB_H_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Schedule analysis: stall counts, PE underutilization (Eq. 4) and
+ * data-transfer volumes.
+ *
+ * PE underutilization is a pure property of the offline schedule — every
+ * explicit zero in a channel's (aligned) data list is one idle PE-cycle
+ * (Section 5.3). The same accounting yields the HBM traffic of the
+ * streaming designs, since stalls are physically transferred as zero
+ * words.
+ */
+
+#ifndef CHASON_SCHED_ANALYZER_H_
+#define CHASON_SCHED_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace chason {
+namespace sched {
+
+/** Aggregate statistics of one schedule. */
+struct ScheduleStats
+{
+    std::size_t nnz = 0;          ///< valid slots across all phases
+    std::size_t totalSlots = 0;   ///< aligned beats x channels x PEs
+    std::size_t stalls = 0;       ///< totalSlots - nnz
+
+    /** Eq. 4: stalls / (nnz + stalls) x 100. */
+    double underutilizationPercent = 0.0;
+
+    /** Per-PEG underutilization % (per matrix channel). */
+    std::vector<double> perPegUnderutilization;
+
+    /** Aligned beats summed over phases (per-channel stream length). */
+    std::size_t streamBeatsPerChannel = 0;
+
+    /** Matrix-stream beats over all channels. */
+    std::uint64_t matrixBeats = 0;
+
+    /** Matrix-stream bytes over all channels (64 B per beat). */
+    std::uint64_t matrixBytes = 0;
+
+    /** Number of (pass, window) phases with work. */
+    std::size_t phases = 0;
+
+    /** Mean of the per-PEG underutilization values. */
+    double meanPegUnderutilization() const;
+
+    /** Max - min of the per-PEG underutilization (fairness, Fig. 13). */
+    double pegUnderutilizationSpread() const;
+};
+
+/** Compute the statistics of @p schedule. */
+ScheduleStats analyze(const Schedule &schedule);
+
+/**
+ * Verify a schedule is well-formed and RAW-safe:
+ *  - every valid slot's row maps to the slot's source (channel, PE);
+ *  - migrated slots come from a channel within migrationDepth;
+ *  - two writes to the same URAM bank (destination PE x source lane x
+ *    row) in one phase are at least rawDistance beats apart;
+ *  - every matrix non-zero appears exactly once.
+ * Panics with a diagnostic on the first violation. Used by tests and by
+ * the simulator's paranoid mode.
+ */
+void validateSchedule(const Schedule &schedule,
+                      const sparse::CsrMatrix &matrix);
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_ANALYZER_H_

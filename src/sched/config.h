@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Configuration shared by the schedulers and the architecture model.
+ *
+ * The defaults reproduce the paper's implementation: 16 HBM channels for
+ * the sparse matrix, 8 PEs per PEG (FP32), a RAW/accumulation dependency
+ * distance of 10 cycles (the U55c floating-point adder pipeline), column
+ * windows of W = 8192 (13-bit column index) and up to 2^15 rows per lane
+ * per pass (15-bit row index) — see Sections 3.2 and 4.1.
+ */
+
+#ifndef CHASON_SCHED_CONFIG_H_
+#define CHASON_SCHED_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sched {
+
+/** Element precision; sets how many elements fit in a 512-bit beat. */
+enum class Precision
+{
+    Fp32, ///< 32-bit value + 32-bit metadata: 8 elements per beat
+    Fp64, ///< 64-bit value + 32-bit metadata: 5 elements per beat
+};
+
+/** Hard upper bound on PEs per group (the FP32 beat width). */
+inline constexpr unsigned kMaxPesPerGroup = 8;
+
+/** Scheduling and architecture geometry. */
+struct SchedConfig
+{
+    /** HBM channels streaming the sparse matrix. */
+    unsigned channels = 16;
+
+    /** Element precision (determines pesPerGroup unless overridden). */
+    Precision precision = Precision::Fp32;
+
+    /** PEs per PEG; 0 selects the precision default (8 FP32 / 5 FP64). */
+    unsigned pesOverride = 0;
+
+    /** RAW / accumulation dependency distance in cycles (Section 2.2). */
+    unsigned rawDistance = 10;
+
+    /** Column window size W (Section 4.1). */
+    std::uint32_t windowCols = 8192;
+
+    /**
+     * Rows a lane's URAM can hold per pass. The 15-bit row index allows
+     * up to 32768; the shipped Chasoň folds two logical ScUG banks per
+     * physical URAM (scugSize 4, Section 4.5), which caps a pass at 4096
+     * rows per lane — 524288 matrix rows.
+     */
+    std::uint32_t rowsPerLanePerPass = 4096;
+
+    /**
+     * CrHCS: how many next channels may donate non-zeros. 0 degenerates
+     * to PE-aware scheduling; the paper implements 1 (Section 3.1) and
+     * discusses 2-3 as a future extension (Section 6.1).
+     */
+    unsigned migrationDepth = 1;
+
+    /** Active PEs per group. */
+    unsigned
+    pesPerGroup() const
+    {
+        if (pesOverride != 0)
+            return pesOverride;
+        return precision == Precision::Fp32 ? 8 : 5;
+    }
+
+    /** Total lanes = channels x PEs per group. */
+    unsigned lanes() const { return channels * pesPerGroup(); }
+
+    /** Rows covered by one pass. */
+    std::uint32_t
+    rowsPerPass() const
+    {
+        return rowsPerLanePerPass * lanes();
+    }
+
+    /** Validate invariants; panics on misconfiguration. */
+    void
+    validate() const
+    {
+        chason_assert(channels >= 1, "need at least one channel");
+        chason_assert(pesPerGroup() >= 1 &&
+                          pesPerGroup() <= kMaxPesPerGroup,
+                      "pesPerGroup %u out of [1,%u]", pesPerGroup(),
+                      kMaxPesPerGroup);
+        chason_assert(rawDistance >= 1, "rawDistance must be >= 1");
+        chason_assert(windowCols >= 1, "windowCols must be >= 1");
+        chason_assert(rowsPerLanePerPass >= 1, "rows per lane >= 1");
+        chason_assert(migrationDepth < channels,
+                      "migrationDepth must be < channels");
+    }
+};
+
+/** Static row-to-lane mapping (Eq. 1-2 generalized to 16 channels). */
+struct LaneMap
+{
+    unsigned channels;
+    unsigned pes;
+
+    explicit LaneMap(const SchedConfig &cfg)
+        : channels(cfg.channels), pes(cfg.pesPerGroup())
+    {
+    }
+
+    unsigned lanes() const { return channels * pes; }
+
+    /** Global lane of a row. */
+    unsigned laneOf(std::uint32_t row) const { return row % lanes(); }
+
+    /** Channel of a row. */
+    unsigned channelOf(std::uint32_t row) const { return laneOf(row) / pes; }
+
+    /** PE (within its PEG) of a row. */
+    unsigned peOf(std::uint32_t row) const { return laneOf(row) % pes; }
+
+    /** Row index within the lane (the URAM address within a pass). */
+    std::uint32_t localRowOf(std::uint32_t row) const
+    {
+        return row / lanes();
+    }
+
+    /** Inverse mapping. */
+    std::uint32_t
+    globalRowOf(unsigned channel, unsigned pe, std::uint32_t local_row) const
+    {
+        return local_row * lanes() + channel * pes + pe;
+    }
+};
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_CONFIG_H_

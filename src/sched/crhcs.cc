@@ -1,0 +1,281 @@
+/**
+ * @file
+ * CrHCS implementation.
+ *
+ * Migration runs as one beat-synchronous pass over the PE-aware phase:
+ * beat positions are visited in order, and at each position every
+ * channel fills its free slots with elements pulled from the *tail* of
+ * its donor channel(s), but only while the donor's remaining list is
+ * still longer than the position being filled. Because all channels
+ * advance together, load balances by construction: a channel keeps
+ * absorbing exactly until it would become the new bottleneck, and a slot
+ * freed by donation deeper in a list becomes fillable from the next
+ * channel when the sweep reaches it — the cascading refill of Fig. 5
+ * happens in the same pass. Elements migrate at most once (only pvt
+ * elements are donors), matching the single pvt bit of the wire format.
+ */
+
+#include "sched/crhcs.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "sched/pe_aware.h"
+
+namespace chason {
+namespace sched {
+
+namespace {
+
+/** A migratable element still sitting in its source channel. */
+struct Donor
+{
+    std::size_t beat;
+    unsigned pe;
+    Slot slot;
+};
+
+/** Key for a destination RAW tracker: (row, destination PE). */
+std::uint64_t
+bankKey(std::uint32_t row, unsigned pe)
+{
+    return (static_cast<std::uint64_t>(row) << 3) | pe;
+}
+
+/** Donor bookkeeping for one source channel. */
+class DonorPool
+{
+  public:
+    DonorPool(const ChannelWindowSchedule &ch, unsigned pes)
+    {
+        for (std::size_t b = ch.length(); b-- > 0;) {
+            for (unsigned p = 0; p < pes; ++p) {
+                const Slot &slot = ch.beats[b].slots[p];
+                if (slot.valid && slot.pvt)
+                    donors_.push_back({b, p, slot});
+            }
+        }
+    }
+
+    bool empty() const { return donors_.empty(); }
+
+    /**
+     * The source list's length if its trailing donated slots were
+     * trimmed right now (deepest remaining donor + 1). The source may
+     * also hold migrated-in elements it received during the sweep, but
+     * those only ever land at positions the sweep has already passed,
+     * which are below any remaining donor.
+     */
+    std::size_t remainingLength() const
+    {
+        return donors_.empty() ? 0 : donors_.front().beat + 1;
+    }
+
+    /**
+     * Find, among the first @p lookahead donors (deepest first), one
+     * whose row may be written on destination PE @p pe at beat @p t
+     * given the RAW tracker @p last_place; remove and return it.
+     */
+    bool
+    take(unsigned pe, std::size_t t, unsigned raw_distance,
+         std::size_t lookahead,
+         const std::unordered_map<std::uint64_t, std::size_t> &last_place,
+         Donor &out)
+    {
+        std::size_t scanned = 0;
+        for (auto it = donors_.begin();
+             it != donors_.end() && scanned < lookahead; ++it, ++scanned) {
+            const auto found = last_place.find(bankKey(it->slot.row, pe));
+            if (found == last_place.end() ||
+                found->second + raw_distance <= t) {
+                out = *it;
+                donors_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::deque<Donor> donors_;
+};
+
+/**
+ * Sequential-greedy traversal (the ablation): destinations are filled
+ * one after the other, each draining its donors as far as the donor
+ * remains longer. Kept for bench_ablation_strategy; see
+ * MigrationStrategy for why this loses on uniformly-heavy inputs.
+ */
+void
+migrateSequential(WindowSchedule &phase, const SchedConfig &config)
+{
+    const unsigned channels = config.channels;
+    const unsigned pes = config.pesPerGroup();
+
+    for (unsigned dst = 0; dst < channels; ++dst) {
+        ChannelWindowSchedule &dst_ch = phase.channels[dst];
+        std::unordered_map<std::uint64_t, std::size_t> last_place;
+        for (unsigned depth = 1; depth <= config.migrationDepth;
+             ++depth) {
+            const unsigned src = (dst + depth) % channels;
+            if (src == dst)
+                break;
+            phase.channels[src].trimTrailingStalls(pes);
+            DonorPool pool(phase.channels[src], pes);
+            for (std::size_t t = 0; !pool.empty(); ++t) {
+                if (t >= dst_ch.length()) {
+                    if (pool.remainingLength() <= dst_ch.length())
+                        break; // absorbing more just moves the bottleneck
+                    dst_ch.beats.emplace_back();
+                }
+                for (unsigned p = 0; p < pes && !pool.empty(); ++p) {
+                    Slot &slot = dst_ch.beats[t].slots[p];
+                    if (slot.valid)
+                        continue;
+                    if (pool.remainingLength() <= t + 1)
+                        break;
+                    Donor donor;
+                    if (!pool.take(p, t, config.rawDistance,
+                                   CrhcsScheduler::kLookahead,
+                                   last_place, donor)) {
+                        continue;
+                    }
+                    slot = donor.slot;
+                    slot.pvt = false;
+                    slot.peSrc = static_cast<std::uint8_t>(donor.pe);
+                    slot.chSrc = static_cast<std::uint8_t>(src);
+                    last_place[bankKey(slot.row, p)] = t;
+                    phase.channels[src]
+                        .beats[donor.beat]
+                        .slots[donor.pe] = Slot();
+                }
+            }
+            phase.channels[src].trimTrailingStalls(pes);
+        }
+        dst_ch.trimTrailingStalls(pes);
+    }
+}
+
+} // namespace
+
+void
+CrhcsScheduler::migratePhase(WindowSchedule &phase,
+                             const SchedConfig &config,
+                             MigrationStrategy strategy)
+{
+    const unsigned channels = config.channels;
+    const unsigned pes = config.pesPerGroup();
+    if (config.migrationDepth == 0 || channels < 2) {
+        for (ChannelWindowSchedule &ch : phase.channels)
+            ch.trimTrailingStalls(pes);
+        phase.realign();
+        return;
+    }
+
+    for (ChannelWindowSchedule &ch : phase.channels)
+        ch.trimTrailingStalls(pes);
+
+    if (strategy == MigrationStrategy::SequentialGreedy) {
+        migrateSequential(phase, config);
+        for (ChannelWindowSchedule &ch : phase.channels)
+            ch.trimTrailingStalls(pes);
+        phase.realign();
+        return;
+    }
+
+    // Donor pools and per-destination RAW trackers.
+    std::vector<DonorPool> pool;
+    pool.reserve(channels);
+    for (unsigned ch = 0; ch < channels; ++ch)
+        pool.emplace_back(phase.channels[ch], pes);
+    std::vector<std::unordered_map<std::uint64_t, std::size_t>> last_place(
+        channels);
+
+    // Beat-synchronous sweep. At beat t a channel may (a) fill free
+    // slots within its current list, or (b) append one beat — but only
+    // while a donor channel's remaining list reaches beyond t, so no
+    // channel ever grows past the emerging balanced makespan.
+    for (std::size_t t = 0;; ++t) {
+        bool any_open = false;
+        for (unsigned dst = 0; dst < channels; ++dst) {
+            ChannelWindowSchedule &dst_ch = phase.channels[dst];
+
+            // Does any donor channel still have work beyond beat t?
+            bool donor_beyond = false;
+            for (unsigned depth = 1; depth <= config.migrationDepth;
+                 ++depth) {
+                const unsigned src = (dst + depth) % channels;
+                if (src == dst)
+                    break;
+                if (pool[src].remainingLength() > t + 1) {
+                    donor_beyond = true;
+                    break;
+                }
+            }
+
+            if (t >= dst_ch.length()) {
+                if (!donor_beyond)
+                    continue; // nothing to gain by extending
+                dst_ch.beats.emplace_back();
+            } else if (t + 1 < dst_ch.length()) {
+                any_open = true; // own beats still ahead of the sweep
+            }
+            if (donor_beyond)
+                any_open = true;
+
+            for (unsigned p = 0; p < pes; ++p) {
+                Slot &slot = dst_ch.beats[t].slots[p];
+                if (slot.valid)
+                    continue;
+                Donor donor;
+                bool taken = false;
+                unsigned src = 0;
+                for (unsigned depth = 1;
+                     depth <= config.migrationDepth && !taken; ++depth) {
+                    src = (dst + depth) % channels;
+                    if (src == dst)
+                        break;
+                    // Pull only while the donor list still reaches
+                    // beyond this beat: otherwise moving the element
+                    // cannot shrink the makespan.
+                    if (pool[src].remainingLength() <= t + 1)
+                        continue;
+                    taken = pool[src].take(p, t, config.rawDistance,
+                                           kLookahead, last_place[dst],
+                                           donor);
+                }
+                if (!taken)
+                    continue;
+                slot = donor.slot;
+                slot.pvt = false;
+                slot.peSrc = static_cast<std::uint8_t>(donor.pe);
+                slot.chSrc = static_cast<std::uint8_t>(src);
+                last_place[dst][bankKey(slot.row, p)] = t;
+                phase.channels[src].beats[donor.beat].slots[donor.pe] =
+                    Slot();
+            }
+        }
+        if (!any_open)
+            break;
+    }
+
+    for (ChannelWindowSchedule &ch : phase.channels)
+        ch.trimTrailingStalls(pes);
+    phase.realign();
+}
+
+Schedule
+CrhcsScheduler::schedule(const sparse::CsrMatrix &matrix) const
+{
+    std::vector<WindowSchedule> phases;
+    for (const PhaseWork &work : buildPhaseWork(matrix, config_)) {
+        WindowSchedule phase = PeAwareScheduler::schedulePhase(work,
+                                                               config_);
+        migratePhase(phase, config_, strategy_);
+        phases.push_back(std::move(phase));
+    }
+    return finalize(matrix, name(), std::move(phases));
+}
+
+} // namespace sched
+} // namespace chason

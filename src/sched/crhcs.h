@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cross-HBM-channel out-of-order scheduling — CrHCS (Section 3).
+ *
+ * CrHCS starts from the PE-aware schedule and fills each channel's stalls
+ * with non-zeros migrated from the next channel(s). Migrated elements are
+ * tagged (pvt=0, PE_src) so the architecture can segregate their partial
+ * sums into the destination PE's shared-channel URAM group and reduce
+ * them later (Section 4.2). Migration respects the RAW distance in the
+ * destination: two elements of the same row that accumulate in the same
+ * physical URAM bank — same destination PE and same source-PE URAM —
+ * must be at least rawDistance beats apart (Section 3.3).
+ *
+ * Implementation notes (where the paper under-specifies):
+ *  - migration runs as one beat-synchronous sweep: all channels fill a
+ *    beat position together, each pulling from its donor's *tail* only
+ *    while the donor still reaches beyond that position. This shrinks
+ *    sources naturally (Fig. 5's contiguous repacking), cascades refills
+ *    in the same pass (Fig. 5c), and keeps the PEG loads balanced by
+ *    construction (Fig. 5d's "minimal load imbalance") — crucial since
+ *    an element migrates at most once (only pvt elements are donors; the
+ *    wire format's single pvt bit names a single source);
+ *  - the eligibility scan over skipped donors is bounded (kLookahead) to
+ *    keep scheduling linear; in practice the head donor is almost always
+ *    eligible, matching the paper's observation that CrHCS "never fails
+ *    to find a RAW dependency-free value".
+ */
+
+#ifndef CHASON_SCHED_CRHCS_H_
+#define CHASON_SCHED_CRHCS_H_
+
+#include "sched/scheduler.h"
+
+namespace chason {
+namespace sched {
+
+/**
+ * How the migration pass traverses the channels.
+ *
+ * The paper describes migration channel by channel (Fig. 5). A faithful
+ * sequential-greedy pass, however, lets the first destination absorb a
+ * heavy neighbour's entire tail; since an element migrates only once,
+ * that destination becomes an un-relievable bottleneck when *all*
+ * channels carry serialized tails (e.g. mycielskian12). The
+ * beat-synchronous traversal fixes this by advancing all channels
+ * together, so load balances by construction. Both are kept: the
+ * sequential variant is the ablation that motivates the default
+ * (bench_ablation_strategy).
+ */
+enum class MigrationStrategy
+{
+    BeatSynchronous,  ///< default: all channels sweep positions together
+    SequentialGreedy, ///< Fig. 5's channel-by-channel reading
+};
+
+/** The paper's cross-channel scheduler. */
+class CrhcsScheduler : public Scheduler
+{
+  public:
+    /** Donors examined per stall before giving up on that slot. */
+    static constexpr std::size_t kLookahead = 32;
+
+    explicit CrhcsScheduler(const SchedConfig &config,
+                            MigrationStrategy strategy =
+                                MigrationStrategy::BeatSynchronous)
+        : Scheduler(config), strategy_(strategy)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return strategy_ == MigrationStrategy::BeatSynchronous
+            ? "crhcs"
+            : "crhcs-sequential";
+    }
+
+    MigrationStrategy strategy() const { return strategy_; }
+
+    Schedule schedule(const sparse::CsrMatrix &matrix) const override;
+
+    /**
+     * Apply cross-channel migration in place to a PE-aware phase.
+     * Exposed for unit tests and the scheduling explorer example.
+     */
+    static void migratePhase(WindowSchedule &phase,
+                             const SchedConfig &config,
+                             MigrationStrategy strategy =
+                                 MigrationStrategy::BeatSynchronous);
+
+  private:
+    MigrationStrategy strategy_;
+};
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_CRHCS_H_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Element encoding implementation.
+ */
+
+#include "sched/element.h"
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sched {
+
+EncodedElement
+EncodedElement::pack(const DecodedElement &e)
+{
+    chason_assert(e.localRow <= ElementLayout::maxLocalRow(),
+                  "local row %u exceeds 15 bits", e.localRow);
+    chason_assert(e.localCol <= ElementLayout::maxLocalCol(),
+                  "local col %u exceeds 13 bits", e.localCol);
+    chason_assert(e.peSrc <= ElementLayout::maxPeSrc(),
+                  "PE_src %u exceeds 3 bits", e.peSrc);
+
+    std::uint64_t word = 0;
+    word = insertBits(word, ElementLayout::kColLsb, ElementLayout::kColBits,
+                      e.localCol);
+    word = insertBits(word, ElementLayout::kPeSrcLsb,
+                      ElementLayout::kPeSrcBits, e.peSrc);
+    word = insertBits(word, ElementLayout::kPvtLsb, ElementLayout::kPvtBits,
+                      e.pvt ? 1 : 0);
+    word = insertBits(word, ElementLayout::kRowLsb, ElementLayout::kRowBits,
+                      e.localRow);
+    word = insertBits(word, ElementLayout::kValueLsb,
+                      ElementLayout::kValueBits, floatToBits(e.value));
+    return EncodedElement(word);
+}
+
+DecodedElement
+EncodedElement::unpack() const
+{
+    DecodedElement e;
+    e.localCol = static_cast<std::uint32_t>(
+        extractBits(word_, ElementLayout::kColLsb, ElementLayout::kColBits));
+    e.peSrc = static_cast<unsigned>(extractBits(
+        word_, ElementLayout::kPeSrcLsb, ElementLayout::kPeSrcBits));
+    e.pvt = extractBits(word_, ElementLayout::kPvtLsb,
+                        ElementLayout::kPvtBits) != 0;
+    e.localRow = static_cast<std::uint32_t>(
+        extractBits(word_, ElementLayout::kRowLsb, ElementLayout::kRowBits));
+    e.value = bitsToFloat(static_cast<std::uint32_t>(extractBits(
+        word_, ElementLayout::kValueLsb, ElementLayout::kValueBits)));
+    return e;
+}
+
+} // namespace sched
+} // namespace chason

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The 64-bit CrHCS sparse-element encoding (Section 3.2).
+ *
+ * Layout (bit 63 down to bit 0):
+ *
+ *   [63:32] 32-bit FP32 value
+ *   [31:17] 15-bit local row index (URAM address within the lane)
+ *   [16]     1-bit pvt flag (1 = element belongs to this channel)
+ *   [15:13]  3-bit PE_src (originating PE for migrated elements)
+ *   [12:0]  13-bit local column index (offset inside the 8192 window)
+ *
+ * Eight such words form one 512-bit HBM beat; the i-th word in the beat
+ * is consumed by PE i of the channel's PEG.
+ */
+
+#ifndef CHASON_SCHED_ELEMENT_H_
+#define CHASON_SCHED_ELEMENT_H_
+
+#include <cstdint>
+
+#include "common/bitfield.h"
+
+namespace chason {
+namespace sched {
+
+/** Bit geometry of the encoding. */
+struct ElementLayout
+{
+    static constexpr unsigned kColLsb = 0;
+    static constexpr unsigned kColBits = 13;
+    static constexpr unsigned kPeSrcLsb = 13;
+    static constexpr unsigned kPeSrcBits = 3;
+    static constexpr unsigned kPvtLsb = 16;
+    static constexpr unsigned kPvtBits = 1;
+    static constexpr unsigned kRowLsb = 17;
+    static constexpr unsigned kRowBits = 15;
+    static constexpr unsigned kValueLsb = 32;
+    static constexpr unsigned kValueBits = 32;
+
+    static constexpr std::uint32_t maxLocalRow()
+    {
+        return (1u << kRowBits) - 1;
+    }
+    static constexpr std::uint32_t maxLocalCol()
+    {
+        return (1u << kColBits) - 1;
+    }
+    static constexpr unsigned maxPeSrc()
+    {
+        return (1u << kPeSrcBits) - 1;
+    }
+};
+
+/** Decoded view of one element. */
+struct DecodedElement
+{
+    float value = 0.0f;
+    std::uint32_t localRow = 0;
+    std::uint32_t localCol = 0;
+    bool pvt = true;
+    unsigned peSrc = 0;
+
+    friend bool operator==(const DecodedElement &,
+                           const DecodedElement &) = default;
+};
+
+/**
+ * One packed 64-bit sparse element. The all-zero word doubles as the
+ * explicit stall marker the HLS designs stream (a zero value makes the
+ * MAC a no-op; see Section 2.2).
+ */
+class EncodedElement
+{
+  public:
+    EncodedElement() = default;
+
+    explicit EncodedElement(std::uint64_t word) : word_(word) {}
+
+    /** Pack the fields; panics if an index exceeds its field width. */
+    static EncodedElement pack(const DecodedElement &e);
+
+    /** Unpack all fields. */
+    DecodedElement unpack() const;
+
+    std::uint64_t word() const { return word_; }
+
+    /** True if this word is the explicit stall marker. */
+    bool isStall() const { return word_ == 0; }
+
+    friend bool operator==(const EncodedElement &,
+                           const EncodedElement &) = default;
+
+  private:
+    std::uint64_t word_ = 0;
+};
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_ELEMENT_H_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Row-based scheduler implementation.
+ */
+
+#include "sched/row_based.h"
+
+#include <algorithm>
+
+namespace chason {
+namespace sched {
+
+Schedule
+RowBasedScheduler::schedule(const sparse::CsrMatrix &matrix) const
+{
+    const LaneMap map(config_);
+    const unsigned pes = config_.pesPerGroup();
+    const unsigned d = config_.rawDistance;
+
+    std::vector<WindowSchedule> phases;
+    for (PhaseWork &pw : buildPhaseWork(matrix, config_)) {
+        WindowSchedule ws;
+        ws.pass = pw.pass;
+        ws.window = pw.window;
+        ws.channels.resize(config_.channels);
+
+        for (unsigned lane = 0; lane < map.lanes(); ++lane) {
+            const unsigned ch = lane / pes;
+            const unsigned pe = lane % pes;
+            ChannelWindowSchedule &cws = ws.channels[ch];
+
+            // Issue rows strictly in order; within a row, consecutive
+            // elements must be rawDistance beats apart. Switching to a
+            // different row has no constraint (different accumulator).
+            std::size_t t = 0;
+            for (const RowRun &run : pw.lanes[lane]) {
+                for (std::size_t i = 0; i < run.elems.size(); ++i) {
+                    if (i > 0)
+                        t += d; // wait out the RAW dependency
+                    if (cws.beats.size() <= t)
+                        cws.beats.resize(t + 1);
+                    Slot &slot = cws.beats[t].slots[pe];
+                    slot.valid = true;
+                    slot.value = run.elems[i].second;
+                    slot.row = run.row;
+                    slot.col = run.elems[i].first;
+                    slot.pvt = true;
+                    slot.peSrc = static_cast<std::uint8_t>(pe);
+                    slot.chSrc = static_cast<std::uint8_t>(ch);
+                    if (i + 1 == run.elems.size())
+                        ++t; // next row may issue on the next beat
+                }
+            }
+        }
+        phases.push_back(std::move(ws));
+    }
+    return finalize(matrix, name(), std::move(phases));
+}
+
+} // namespace sched
+} // namespace chason

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Row-based non-zero scheduling (Section 2.2, Fig. 1 / Fig. 2a).
+ *
+ * All non-zeros of a row are issued to the row's PE back to back, so
+ * consecutive elements of the same row serialize on the accumulator's
+ * RAW distance: the pipeline sits idle for rawDistance-1 beats between
+ * them. This is the weakest baseline and exists to reproduce the paper's
+ * motivation numbers (0.10 non-zeros per cycle in the Fig. 2 example).
+ */
+
+#ifndef CHASON_SCHED_ROW_BASED_H_
+#define CHASON_SCHED_ROW_BASED_H_
+
+#include "sched/scheduler.h"
+
+namespace chason {
+namespace sched {
+
+/** In-order, one-row-at-a-time scheduler. */
+class RowBasedScheduler : public Scheduler
+{
+  public:
+    explicit RowBasedScheduler(const SchedConfig &config)
+        : Scheduler(config)
+    {
+    }
+
+    std::string name() const override { return "row-based"; }
+
+    Schedule schedule(const sparse::CsrMatrix &matrix) const override;
+};
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_ROW_BASED_H_

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Schedule container implementation: phase-work bucketing and the wire
+ * encoding round trip.
+ */
+
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sched {
+
+unsigned
+Beat::validCount(unsigned pes) const
+{
+    chason_assert(pes <= kMaxPesPerGroup, "pes out of range");
+    unsigned count = 0;
+    for (unsigned p = 0; p < pes; ++p) {
+        if (slots[p].valid)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+ChannelWindowSchedule::validSlots(unsigned pes) const
+{
+    std::size_t count = 0;
+    for (const Beat &beat : beats)
+        count += beat.validCount(pes);
+    return count;
+}
+
+void
+ChannelWindowSchedule::trimTrailingStalls(unsigned pes)
+{
+    while (!beats.empty() && beats.back().allStall(pes))
+        beats.pop_back();
+}
+
+void
+WindowSchedule::realign()
+{
+    alignedBeats = 0;
+    for (const ChannelWindowSchedule &ch : channels)
+        alignedBeats = std::max(alignedBeats, ch.length());
+}
+
+std::size_t
+Schedule::totalAlignedBeats() const
+{
+    std::size_t total = 0;
+    for (const WindowSchedule &phase : phases)
+        total += phase.alignedBeats;
+    return total;
+}
+
+std::uint32_t
+Schedule::windowsPerPass() const
+{
+    return (cols + config.windowCols - 1) / config.windowCols;
+}
+
+std::uint32_t
+Schedule::passes() const
+{
+    return (rows + config.rowsPerPass() - 1) / config.rowsPerPass();
+}
+
+std::vector<PhaseWork>
+buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
+{
+    config.validate();
+    const LaneMap map(config);
+    const std::uint32_t windows =
+        (matrix.cols() + config.windowCols - 1) / config.windowCols;
+    const std::uint32_t passes =
+        (matrix.rows() + config.rowsPerPass() - 1) / config.rowsPerPass();
+    chason_assert(windows >= 1 || matrix.nnz() == 0,
+                  "matrix with nnz needs at least one window");
+
+    // phase index = pass * windows + window
+    std::vector<PhaseWork> work(
+        static_cast<std::size_t>(passes) * windows);
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        for (std::uint32_t w = 0; w < windows; ++w) {
+            PhaseWork &pw = work[static_cast<std::size_t>(pass) * windows
+                                 + w];
+            pw.pass = pass;
+            pw.window = w;
+            pw.lanes.resize(map.lanes());
+        }
+    }
+
+    const auto &row_ptr = matrix.rowPtr();
+    const auto &col_idx = matrix.colIdx();
+    const auto &values = matrix.values();
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+        const unsigned lane = map.laneOf(r);
+        const std::uint32_t pass = r / config.rowsPerPass();
+        // Column indices are sorted within the row, so the row's entries
+        // split into consecutive window segments.
+        std::size_t i = row_ptr[r];
+        while (i < row_ptr[r + 1]) {
+            const std::uint32_t w = col_idx[i] / config.windowCols;
+            PhaseWork &pw =
+                work[static_cast<std::size_t>(pass) * windows + w];
+            RowRun run;
+            run.row = r;
+            while (i < row_ptr[r + 1] &&
+                   col_idx[i] / config.windowCols == w) {
+                run.elems.emplace_back(col_idx[i], values[i]);
+                ++i;
+            }
+            pw.nnz += run.elems.size();
+            pw.lanes[lane].push_back(std::move(run));
+        }
+    }
+
+    // Drop empty phases.
+    std::vector<PhaseWork> result;
+    result.reserve(work.size());
+    for (PhaseWork &pw : work) {
+        if (pw.nnz > 0)
+            result.push_back(std::move(pw));
+    }
+    return result;
+}
+
+std::vector<EncodedElement>
+encodeChannelStream(const Schedule &schedule, std::size_t phase,
+                    unsigned channel)
+{
+    chason_assert(phase < schedule.phases.size(), "phase out of range");
+    chason_assert(schedule.config.migrationDepth <= 1,
+                  "wire encoding only names the immediate next channel");
+    const WindowSchedule &ws = schedule.phases[phase];
+    chason_assert(channel < ws.channels.size(), "channel out of range");
+
+    const LaneMap map(schedule.config);
+    const unsigned pes = schedule.config.pesPerGroup();
+    const std::uint32_t pass_base =
+        ws.pass * schedule.config.rowsPerPass();
+    const std::uint32_t col_base =
+        ws.window * schedule.config.windowCols;
+
+    std::vector<EncodedElement> words;
+    const ChannelWindowSchedule &ch = ws.channels[channel];
+    words.reserve(ch.beats.size() * pes);
+    for (const Beat &beat : ch.beats) {
+        for (unsigned p = 0; p < pes; ++p) {
+            const Slot &slot = beat.slots[p];
+            if (!slot.valid) {
+                words.emplace_back(); // explicit zero / stall word
+                continue;
+            }
+            DecodedElement e;
+            e.value = slot.value;
+            chason_assert(slot.row >= pass_base, "row below pass base");
+            e.localRow = map.localRowOf(slot.row) -
+                map.localRowOf(pass_base);
+            chason_assert(slot.col >= col_base, "col below window base");
+            e.localCol = slot.col - col_base;
+            e.pvt = slot.pvt;
+            e.peSrc = slot.peSrc;
+            words.push_back(EncodedElement::pack(e));
+        }
+    }
+    return words;
+}
+
+ChannelWindowSchedule
+decodeChannelStream(const SchedConfig &config,
+                    const std::vector<EncodedElement> &words,
+                    std::uint32_t pass, std::uint32_t window,
+                    unsigned channel)
+{
+    const LaneMap map(config);
+    const unsigned pes = config.pesPerGroup();
+    chason_assert(words.size() % pes == 0,
+                  "stream length %zu is not a whole number of beats",
+                  words.size());
+    const std::uint32_t pass_base_local =
+        map.localRowOf(pass * config.rowsPerPass());
+    const std::uint32_t col_base = window * config.windowCols;
+
+    ChannelWindowSchedule ch;
+    ch.beats.resize(words.size() / pes);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const unsigned p = static_cast<unsigned>(i % pes);
+        Slot &slot = ch.beats[i / pes].slots[p];
+        if (words[i].isStall()) {
+            slot = Slot();
+            continue;
+        }
+        const DecodedElement e = words[i].unpack();
+        slot.valid = true;
+        slot.value = e.value;
+        slot.pvt = e.pvt;
+        slot.peSrc = static_cast<std::uint8_t>(e.peSrc);
+        // A migrated element came from the immediate next channel.
+        const unsigned src_ch =
+            e.pvt ? channel : (channel + 1) % config.channels;
+        slot.chSrc = static_cast<std::uint8_t>(src_ch);
+        const unsigned src_pe = e.pvt ? p : e.peSrc;
+        slot.row = map.globalRowOf(src_ch, src_pe,
+                                   e.localRow + pass_base_local);
+        slot.col = e.localCol + col_base;
+    }
+    return ch;
+}
+
+} // namespace sched
+} // namespace chason

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Schedule data structures: what an offline scheduler produces and the
+ * architecture simulator consumes.
+ *
+ * A schedule is organized as (pass, window) phases. Within a phase every
+ * matrix channel holds a list of 512-bit beats; a beat carries one slot
+ * per PE of the channel's PEG. Invalid slots are the explicit zeros /
+ * stalls of Section 2.2. Phases execute sequentially (the x window is
+ * reloaded in between); inside a phase all channels stream in lockstep
+ * for `alignedBeats` beats (channel lists are resized to the longest one,
+ * Section 3.1).
+ */
+
+#ifndef CHASON_SCHED_SCHEDULE_H_
+#define CHASON_SCHED_SCHEDULE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/config.h"
+#include "sched/element.h"
+#include "sparse/formats.h"
+
+namespace chason {
+namespace sched {
+
+/** One PE-slot of a beat. */
+struct Slot
+{
+    float value = 0.0f;
+    std::uint32_t row = 0;  ///< global row index
+    std::uint32_t col = 0;  ///< global column index
+    bool valid = false;     ///< false = stall / explicit zero
+    bool pvt = true;        ///< belongs to the channel it is streamed on
+    std::uint8_t peSrc = 0; ///< originating PE (meaningful when !pvt)
+    std::uint8_t chSrc = 0; ///< originating channel (== own channel if pvt)
+};
+
+/** One 512-bit beat: a slot for each PE of the PEG. */
+struct Beat
+{
+    std::array<Slot, kMaxPesPerGroup> slots;
+
+    /** Number of valid (non-stall) slots among the first @p pes. */
+    unsigned validCount(unsigned pes) const;
+
+    /** True if none of the first @p pes slots is valid. */
+    bool allStall(unsigned pes) const { return validCount(pes) == 0; }
+};
+
+/** The beat list one channel streams during one phase. */
+struct ChannelWindowSchedule
+{
+    std::vector<Beat> beats;
+
+    std::size_t length() const { return beats.size(); }
+
+    /** Valid slots over the channel's own list. */
+    std::size_t validSlots(unsigned pes) const;
+
+    /** Drop trailing beats that carry no valid slot. */
+    void trimTrailingStalls(unsigned pes);
+};
+
+/** One (pass, window) phase across all matrix channels. */
+struct WindowSchedule
+{
+    std::uint32_t pass = 0;   ///< row pass index
+    std::uint32_t window = 0; ///< column window index
+    std::vector<ChannelWindowSchedule> channels;
+
+    /**
+     * Beats every channel streams this phase (channels shorter than this
+     * are padded with stall beats on the wire).
+     */
+    std::size_t alignedBeats = 0;
+
+    /** Recompute alignedBeats from the current channel lengths. */
+    void realign();
+};
+
+/** A complete schedule for one matrix. */
+struct Schedule
+{
+    SchedConfig config;
+    std::string scheduler;   ///< producing algorithm, for reports
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::size_t nnz = 0;
+    std::vector<WindowSchedule> phases;
+
+    /** Sum of alignedBeats over all phases. */
+    std::size_t totalAlignedBeats() const;
+
+    /** Column windows per pass. */
+    std::uint32_t windowsPerPass() const;
+
+    /** Number of row passes. */
+    std::uint32_t passes() const;
+};
+
+/**
+ * Serialize one channel's beats of one phase into the 64-bit stream the
+ * hardware would read from HBM (8 words per beat, stall slots as zero
+ * words). Local row/col indices are derived with the schedule's LaneMap
+ * and window geometry. Only valid for migrationDepth <= 1 (the 1-bit pvt
+ * flag cannot name a farther source).
+ */
+std::vector<EncodedElement>
+encodeChannelStream(const Schedule &schedule, std::size_t phase,
+                    unsigned channel);
+
+/**
+ * Inverse of encodeChannelStream: rebuild slots from the wire encoding.
+ * Global row/col are reconstructed from (channel, pe, pass, window); used
+ * by the simulator's encoded-input mode and by round-trip tests.
+ */
+ChannelWindowSchedule
+decodeChannelStream(const SchedConfig &config,
+                    const std::vector<EncodedElement> &words,
+                    std::uint32_t pass, std::uint32_t window,
+                    unsigned channel);
+
+/**
+ * Per-lane work buckets: the nonzeros of one (pass, window, lane) grouped
+ * by row in ascending row order — the input shape every scheduler starts
+ * from.
+ */
+struct RowRun
+{
+    std::uint32_t row = 0; ///< global row
+    std::vector<std::pair<std::uint32_t, float>> elems; ///< (global col, v)
+};
+
+/** Work for one (pass, window): per-lane row runs. */
+struct PhaseWork
+{
+    std::uint32_t pass = 0;
+    std::uint32_t window = 0;
+    std::vector<std::vector<RowRun>> lanes; ///< [lane] -> runs
+    std::size_t nnz = 0;
+};
+
+/**
+ * Split a matrix into per-phase, per-lane work according to the config's
+ * lane map, window size and pass height. Phases are ordered pass-major;
+ * phases with no non-zeros are omitted (an empty window costs neither an
+ * x reload nor stream beats).
+ */
+std::vector<PhaseWork> buildPhaseWork(const sparse::CsrMatrix &matrix,
+                                      const SchedConfig &config);
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_SCHEDULE_H_

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Schedule serialization implementation.
+ *
+ * Layout (little-endian):
+ *   u64 magic "CHASONS1"
+ *   u32 channels, u32 pes, u32 rawDistance, u32 windowCols,
+ *   u32 rowsPerLanePerPass, u32 migrationDepth, u32 precision
+ *   u32 rows, u32 cols, u64 nnz
+ *   u32 scheduler-name length + bytes
+ *   u32 phase count, then per phase:
+ *     u32 pass, u32 window, u64 alignedBeats
+ *     per channel: u64 word count + that many u64 wire words
+ */
+
+#include "sched/schedule_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sched {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x3153'4e4f'5341'4843ull; // "CHASONS1"
+
+template <typename T>
+void
+put(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+get(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!in)
+        chason_fatal("schedule artifact: truncated stream");
+    return value;
+}
+
+} // namespace
+
+void
+writeSchedule(const Schedule &schedule, std::ostream &out)
+{
+    const SchedConfig &cfg = schedule.config;
+    chason_assert(cfg.migrationDepth <= 1,
+                  "the wire format only names the immediate next channel");
+
+    put<std::uint64_t>(out, kMagic);
+    put<std::uint32_t>(out, cfg.channels);
+    put<std::uint32_t>(out, cfg.pesPerGroup());
+    put<std::uint32_t>(out, cfg.rawDistance);
+    put<std::uint32_t>(out, cfg.windowCols);
+    put<std::uint32_t>(out, cfg.rowsPerLanePerPass);
+    put<std::uint32_t>(out, cfg.migrationDepth);
+    put<std::uint32_t>(out,
+                       cfg.precision == Precision::Fp32 ? 32u : 64u);
+    put<std::uint32_t>(out, schedule.rows);
+    put<std::uint32_t>(out, schedule.cols);
+    put<std::uint64_t>(out, schedule.nnz);
+
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(
+                           schedule.scheduler.size()));
+    out.write(schedule.scheduler.data(),
+              static_cast<std::streamsize>(schedule.scheduler.size()));
+
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(schedule.phases.size()));
+    for (std::size_t ph = 0; ph < schedule.phases.size(); ++ph) {
+        const WindowSchedule &phase = schedule.phases[ph];
+        put<std::uint32_t>(out, phase.pass);
+        put<std::uint32_t>(out, phase.window);
+        put<std::uint64_t>(out, phase.alignedBeats);
+        for (unsigned ch = 0; ch < cfg.channels; ++ch) {
+            const std::vector<EncodedElement> words =
+                encodeChannelStream(schedule, ph, ch);
+            put<std::uint64_t>(out, words.size());
+            for (const EncodedElement &word : words)
+                put<std::uint64_t>(out, word.word());
+        }
+    }
+    if (!out)
+        chason_fatal("schedule artifact: write failed");
+}
+
+Schedule
+readSchedule(std::istream &in)
+{
+    if (get<std::uint64_t>(in) != kMagic)
+        chason_fatal("schedule artifact: bad magic");
+
+    Schedule schedule;
+    SchedConfig &cfg = schedule.config;
+    cfg.channels = get<std::uint32_t>(in);
+    cfg.pesOverride = get<std::uint32_t>(in);
+    cfg.rawDistance = get<std::uint32_t>(in);
+    cfg.windowCols = get<std::uint32_t>(in);
+    cfg.rowsPerLanePerPass = get<std::uint32_t>(in);
+    cfg.migrationDepth = get<std::uint32_t>(in);
+    cfg.precision = get<std::uint32_t>(in) == 32 ? Precision::Fp32
+                                                 : Precision::Fp64;
+    cfg.validate();
+    schedule.rows = get<std::uint32_t>(in);
+    schedule.cols = get<std::uint32_t>(in);
+    schedule.nnz = get<std::uint64_t>(in);
+
+    const auto name_len = get<std::uint32_t>(in);
+    chason_assert(name_len < 256, "unreasonable scheduler name length");
+    schedule.scheduler.resize(name_len);
+    in.read(schedule.scheduler.data(), name_len);
+    if (!in)
+        chason_fatal("schedule artifact: truncated name");
+
+    const auto phase_count = get<std::uint32_t>(in);
+    schedule.phases.reserve(phase_count);
+    for (std::uint32_t ph = 0; ph < phase_count; ++ph) {
+        WindowSchedule phase;
+        phase.pass = get<std::uint32_t>(in);
+        phase.window = get<std::uint32_t>(in);
+        phase.alignedBeats = get<std::uint64_t>(in);
+        phase.channels.resize(cfg.channels);
+        for (unsigned ch = 0; ch < cfg.channels; ++ch) {
+            const std::uint64_t count = get<std::uint64_t>(in);
+            std::vector<EncodedElement> words;
+            words.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i)
+                words.emplace_back(get<std::uint64_t>(in));
+            phase.channels[ch] = decodeChannelStream(
+                cfg, words, phase.pass, phase.window, ch);
+        }
+        std::size_t longest = 0;
+        for (const auto &channel : phase.channels)
+            longest = std::max(longest, channel.length());
+        chason_assert(phase.alignedBeats >= longest,
+                      "artifact phase shorter than its channels");
+        schedule.phases.push_back(std::move(phase));
+    }
+    return schedule;
+}
+
+void
+writeScheduleFile(const Schedule &schedule, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        chason_fatal("cannot create schedule artifact '%s'", path.c_str());
+    writeSchedule(schedule, out);
+}
+
+Schedule
+readScheduleFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        chason_fatal("cannot open schedule artifact '%s'", path.c_str());
+    return readSchedule(in);
+}
+
+std::uint64_t
+scheduleArtifactBytes(const Schedule &schedule)
+{
+    // The HBM-resident payload: every channel stores alignedBeats beats
+    // of 64 bytes per phase (stall words included — this is exactly the
+    // "data list" whose padding Serpens pays for and CrHCS trims).
+    return static_cast<std::uint64_t>(schedule.totalAlignedBeats()) *
+        schedule.config.channels * 64;
+}
+
+} // namespace sched
+} // namespace chason

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Schedule serialization: the offline preprocessing artifact.
+ *
+ * On the real system the host preprocesses a matrix once and stores the
+ * per-channel 64-bit streams that are later DMA'd into HBM. This module
+ * writes and reads exactly that artifact: a small header plus, per
+ * (pass, window) phase and per channel, the wire-encoded element stream
+ * of Section 3.2 (8 words per 512-bit beat, stalls as zero words).
+ *
+ * Because the on-wire encoding is the paper's — one pvt bit and a
+ * 3-bit PE_src — serialization is only defined for migration depth <= 1;
+ * reading the artifact back reconstructs a Schedule that simulates
+ * identically, which is the proof that the 64-bit format carries all
+ * the information the datapath needs.
+ */
+
+#ifndef CHASON_SCHED_SCHEDULE_IO_H_
+#define CHASON_SCHED_SCHEDULE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace chason {
+namespace sched {
+
+/** Serialize @p schedule to a binary stream. */
+void writeSchedule(const Schedule &schedule, std::ostream &out);
+
+/** Parse a schedule back; fatal() on a malformed stream. */
+Schedule readSchedule(std::istream &in);
+
+/** File convenience wrappers. */
+void writeScheduleFile(const Schedule &schedule, const std::string &path);
+Schedule readScheduleFile(const std::string &path);
+
+/**
+ * Total artifact size in bytes (what the host must DMA to HBM for the
+ * matrix streams — the "data list" footprint the paper's transfer
+ * numbers count).
+ */
+std::uint64_t scheduleArtifactBytes(const Schedule &schedule);
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_SCHEDULE_IO_H_

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared scheduler epilogue.
+ */
+
+#include "sched/scheduler.h"
+
+namespace chason {
+namespace sched {
+
+Schedule
+Scheduler::finalize(const sparse::CsrMatrix &matrix, std::string name,
+                    std::vector<WindowSchedule> phases) const
+{
+    Schedule schedule;
+    schedule.config = config_;
+    schedule.scheduler = std::move(name);
+    schedule.rows = matrix.rows();
+    schedule.cols = matrix.cols();
+    schedule.nnz = matrix.nnz();
+    schedule.phases = std::move(phases);
+    for (WindowSchedule &phase : schedule.phases)
+        phase.realign();
+    return schedule;
+}
+
+} // namespace sched
+} // namespace chason

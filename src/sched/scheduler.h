@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Abstract scheduler interface.
+ *
+ * A scheduler turns a CSR matrix into the per-channel beat lists the
+ * streaming accelerators consume. Three implementations mirror the
+ * paper's Section 2.2 / 3:
+ *
+ *  - RowBasedScheduler   (Fig. 2a): in-order, one row at a time;
+ *  - PeAwareScheduler    (Fig. 2b): Serpens' intra-channel OoO scheme;
+ *  - CrhcsScheduler      (Fig. 2c): the paper's cross-channel scheme.
+ */
+
+#ifndef CHASON_SCHED_SCHEDULER_H_
+#define CHASON_SCHED_SCHEDULER_H_
+
+#include <string>
+
+#include "sched/config.h"
+#include "sched/schedule.h"
+#include "sparse/formats.h"
+
+namespace chason {
+namespace sched {
+
+/** Base class for the offline non-zero schedulers. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(const SchedConfig &config) : config_(config)
+    {
+        config_.validate();
+    }
+
+    virtual ~Scheduler() = default;
+
+    /** Algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Produce a schedule for @p matrix. */
+    virtual Schedule schedule(const sparse::CsrMatrix &matrix) const = 0;
+
+    const SchedConfig &config() const { return config_; }
+
+  protected:
+    SchedConfig config_;
+
+    /** Shared epilogue: set metadata and align every phase. */
+    Schedule
+    finalize(const sparse::CsrMatrix &matrix, std::string name,
+             std::vector<WindowSchedule> phases) const;
+};
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_SCHED_SCHEDULER_H_

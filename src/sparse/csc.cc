@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CSC implementation.
+ */
+
+#include "sparse/csc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sparse {
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    CscMatrix out;
+    out.rows_ = csr.rows();
+    out.cols_ = csr.cols();
+    out.colPtr_.assign(static_cast<std::size_t>(csr.cols()) + 1, 0);
+    out.rowIdx_.resize(csr.nnz());
+    out.values_.resize(csr.nnz());
+
+    // Counting sort by column: count, prefix-sum, scatter. Row indices
+    // come out sorted within each column because CSR iterates rows in
+    // ascending order.
+    for (std::size_t i = 0; i < csr.nnz(); ++i)
+        ++out.colPtr_[csr.colIdx()[i] + 1];
+    for (std::uint32_t c = 0; c < csr.cols(); ++c)
+        out.colPtr_[c + 1] += out.colPtr_[c];
+
+    std::vector<std::size_t> cursor(out.colPtr_.begin(),
+                                    out.colPtr_.end() - 1);
+    for (std::uint32_t r = 0; r < csr.rows(); ++r) {
+        for (std::size_t i = csr.rowPtr()[r]; i < csr.rowPtr()[r + 1];
+             ++i) {
+            const std::uint32_t c = csr.colIdx()[i];
+            out.rowIdx_[cursor[c]] = r;
+            out.values_[cursor[c]] = csr.values()[i];
+            ++cursor[c];
+        }
+    }
+    return out;
+}
+
+std::size_t
+CscMatrix::colNnz(std::uint32_t col) const
+{
+    chason_assert(col < cols_, "column %u out of range", col);
+    return colPtr_[col + 1] - colPtr_[col];
+}
+
+std::size_t
+CscMatrix::maxColNnz() const
+{
+    std::size_t best = 0;
+    for (std::uint32_t c = 0; c < cols_; ++c)
+        best = std::max(best, colNnz(c));
+    return best;
+}
+
+CsrMatrix
+CscMatrix::toCsr() const
+{
+    CooMatrix coo(rows_, cols_);
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+        for (std::size_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            coo.add(rowIdx_[i], c, values_[i]);
+    }
+    return coo.toCsr();
+}
+
+std::vector<float>
+CscMatrix::spmv(const std::vector<float> &x) const
+{
+    chason_assert(x.size() == cols_, "x has %zu entries, matrix has %u "
+                  "columns", x.size(), cols_);
+    std::vector<float> y(rows_, 0.0f);
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+        const float xc = x[c];
+        if (xc == 0.0f)
+            continue;
+        for (std::size_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            y[rowIdx_[i]] += values_[i] * xc;
+    }
+    return y;
+}
+
+std::vector<float>
+CscMatrix::spmvTransposed(const std::vector<float> &x) const
+{
+    chason_assert(x.size() == rows_, "x has %zu entries, A^T has %u "
+                  "columns", x.size(), rows_);
+    std::vector<float> y(cols_, 0.0f);
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+        float acc = 0.0f;
+        for (std::size_t i = colPtr_[c]; i < colPtr_[c + 1]; ++i)
+            acc += values_[i] * x[rowIdx_[i]];
+        y[c] = acc;
+    }
+    return y;
+}
+
+} // namespace sparse
+} // namespace chason

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compressed sparse column format.
+ *
+ * The schedulers consume CSR (row-major order matches the row-to-lane
+ * mapping), but downstream users of a sparse library routinely need the
+ * column view: building A^T x products, transition matrices (PageRank),
+ * and the column-major traversals of interior-point solvers. CscMatrix
+ * mirrors CsrMatrix's interface and converts losslessly in both
+ * directions.
+ */
+
+#ifndef CHASON_SPARSE_CSC_H_
+#define CHASON_SPARSE_CSC_H_
+
+#include "sparse/formats.h"
+
+namespace chason {
+namespace sparse {
+
+/** Compressed sparse column matrix; rows sorted within each column. */
+class CscMatrix
+{
+  public:
+    CscMatrix() = default;
+
+    /** Build from any CSR matrix. */
+    static CscMatrix fromCsr(const CsrMatrix &csr);
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+    std::size_t nnz() const { return values_.size(); }
+
+    const std::vector<std::size_t> &colPtr() const { return colPtr_; }
+    const std::vector<std::uint32_t> &rowIdx() const { return rowIdx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    /** Non-zeros in one column. */
+    std::size_t colNnz(std::uint32_t col) const;
+
+    /** Longest column (0 for an empty matrix). */
+    std::size_t maxColNnz() const;
+
+    /** Convert back to CSR (exact round trip). */
+    CsrMatrix toCsr() const;
+
+    /**
+     * y = A x computed column-major (scatter order): the same result as
+     * the CSR kernel up to FP32 association.
+     */
+    std::vector<float> spmv(const std::vector<float> &x) const;
+
+    /** y = A^T x without materializing the transpose. */
+    std::vector<float> spmvTransposed(const std::vector<float> &x) const;
+
+  private:
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 0;
+    std::vector<std::size_t> colPtr_;   // size cols_ + 1
+    std::vector<std::uint32_t> rowIdx_; // size nnz
+    std::vector<float> values_;         // size nnz
+};
+
+} // namespace sparse
+} // namespace chason
+
+#endif // CHASON_SPARSE_CSC_H_

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * CooMatrix / CsrMatrix implementation and the reference kernels.
+ */
+
+#include "sparse/formats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sparse {
+
+CooMatrix::CooMatrix(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows), cols_(cols)
+{
+}
+
+double
+CooMatrix::densityPercent() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(nnz()) /
+        (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+void
+CooMatrix::add(std::uint32_t row, std::uint32_t col, float value)
+{
+    chason_assert(row < rows_, "row %u out of range (rows=%u)", row, rows_);
+    chason_assert(col < cols_, "col %u out of range (cols=%u)", col, cols_);
+    entries_.push_back({row, col, value});
+}
+
+void
+CooMatrix::addSymmetric(std::uint32_t row, std::uint32_t col, float value)
+{
+    add(row, col, value);
+    if (row != col)
+        add(col, row, value);
+}
+
+void
+CooMatrix::canonicalize()
+{
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+    // Merge duplicates by summation (Matrix Market semantics).
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+            entries_[out - 1].col == entries_[i].col) {
+            entries_[out - 1].value += entries_[i].value;
+        } else {
+            entries_[out++] = entries_[i];
+        }
+    }
+    entries_.resize(out);
+}
+
+CsrMatrix
+CooMatrix::toCsr() const
+{
+    CooMatrix copy = *this;
+    copy.canonicalize();
+    return CsrMatrix(rows_, cols_, copy.entries());
+}
+
+CsrMatrix::CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+                     const std::vector<Triplet> &canonical_entries)
+    : rows_(rows), cols_(cols)
+{
+    rowPtr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+    colIdx_.reserve(canonical_entries.size());
+    values_.reserve(canonical_entries.size());
+
+    std::uint32_t prev_row = 0;
+    bool first = true;
+    for (const Triplet &t : canonical_entries) {
+        chason_assert(t.row < rows_ && t.col < cols_,
+                      "entry (%u,%u) out of %ux%u", t.row, t.col, rows_,
+                      cols_);
+        if (!first) {
+            chason_assert(t.row > prev_row ||
+                              (t.row == prev_row && t.col > colIdx_.back()),
+                          "entries are not canonical at (%u,%u)", t.row,
+                          t.col);
+        }
+        ++rowPtr_[t.row + 1];
+        colIdx_.push_back(t.col);
+        values_.push_back(t.value);
+        prev_row = t.row;
+        first = false;
+    }
+    for (std::uint32_t r = 0; r < rows_; ++r)
+        rowPtr_[r + 1] += rowPtr_[r];
+}
+
+double
+CsrMatrix::densityPercent() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(nnz()) /
+        (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+std::size_t
+CsrMatrix::rowNnz(std::uint32_t row) const
+{
+    chason_assert(row < rows_, "row %u out of range", row);
+    return rowPtr_[row + 1] - rowPtr_[row];
+}
+
+std::size_t
+CsrMatrix::maxRowNnz() const
+{
+    std::size_t best = 0;
+    for (std::uint32_t r = 0; r < rows_; ++r)
+        best = std::max(best, rowNnz(r));
+    return best;
+}
+
+std::uint32_t
+CsrMatrix::emptyRows() const
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        if (rowNnz(r) == 0)
+            ++count;
+    }
+    return count;
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    CooMatrix coo(cols_, rows_);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            coo.add(colIdx_[i], r, values_[i]);
+    }
+    return coo.toCsr();
+}
+
+CooMatrix
+CsrMatrix::toCoo() const
+{
+    CooMatrix coo(rows_, cols_);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
+            coo.add(r, colIdx_[i], values_[i]);
+    }
+    return coo;
+}
+
+std::string
+CsrMatrix::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%ux%u, %zu nnz, %.4g%%", rows_, cols_,
+                  nnz(), densityPercent());
+    return buf;
+}
+
+std::vector<double>
+spmvReference(const CsrMatrix &a, const std::vector<float> &x)
+{
+    chason_assert(x.size() == a.cols(), "x has %zu entries, matrix has %u "
+                  "columns", x.size(), a.cols());
+    std::vector<double> y(a.rows(), 0.0);
+    const auto &row_ptr = a.rowPtr();
+    const auto &col_idx = a.colIdx();
+    const auto &values = a.values();
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            acc += static_cast<double>(values[i]) *
+                static_cast<double>(x[col_idx[i]]);
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<float>
+spmvFloat(const CsrMatrix &a, const std::vector<float> &x)
+{
+    chason_assert(x.size() == a.cols(), "x has %zu entries, matrix has %u "
+                  "columns", x.size(), a.cols());
+    std::vector<float> y(a.rows(), 0.0f);
+    const auto &row_ptr = a.rowPtr();
+    const auto &col_idx = a.colIdx();
+    const auto &values = a.values();
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        float acc = 0.0f;
+        for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            acc += values[i] * x[col_idx[i]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+double
+maxRelativeError(const std::vector<float> &result,
+                 const std::vector<double> &reference, double rel_tol,
+                 double abs_tol)
+{
+    chason_assert(result.size() == reference.size(),
+                  "result/reference size mismatch: %zu vs %zu",
+                  result.size(), reference.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        const double err =
+            std::abs(static_cast<double>(result[i]) - reference[i]);
+        const double allowed = abs_tol + rel_tol * std::abs(reference[i]);
+        worst = std::max(worst, err / allowed);
+    }
+    return worst;
+}
+
+} // namespace sparse
+} // namespace chason

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic synthetic sparse matrix generators.
+ *
+ * The paper evaluates on SuiteSparse and SNAP matrices, which are not
+ * shipped with this repository. Each generator below reproduces the
+ * sparsity-structure class of one of the evaluated domains:
+ *
+ *  - rmat / preferentialAttachment: SNAP social / web graphs (power-law
+ *    degree distribution, heavy row imbalance);
+ *  - banded / trajectoryBlock: optimal-control matrices
+ *    (dynamicSoaringProblem, lowThrust, hangGlider, reorientation);
+ *  - blockDiagonal: power-grid OPF matrices (TSC_OPF_300);
+ *  - mycielskian: the *exact* Mycielski graph (mycielskian12 matches the
+ *    paper's NNZ of 407200 bit-for-bit in structure);
+ *  - poisson2d: scientific-computing stencils;
+ *  - erdosRenyi / zipfRows: unstructured and imbalance-controlled fillers
+ *    for the 800-matrix sweep corpus.
+ *
+ * All generators are pure functions of their arguments and the Rng seed.
+ * Non-zero values default to uniform [0.1, 1.0); positive values keep the
+ * FP32 accumulation well-conditioned so functional checks against the
+ * double-precision reference are meaningful at tight tolerances.
+ */
+
+#ifndef CHASON_SPARSE_GENERATORS_H_
+#define CHASON_SPARSE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sparse/formats.h"
+
+namespace chason {
+namespace sparse {
+
+/** How generator values are drawn. */
+enum class ValueDistribution
+{
+    PositiveUniform, ///< uniform [0.1, 1.0) — default, cancellation-free
+    SignedUniform,   ///< uniform [-1.0, 1.0)
+    Ones,            ///< all 1.0 (pattern matrices)
+};
+
+/** Draw one value according to @p dist. */
+float drawValue(Rng &rng, ValueDistribution dist);
+
+/**
+ * Uniform random matrix: @p nnz_target entries at uniformly random
+ * positions (duplicates merged, so the final count can be slightly lower).
+ */
+CsrMatrix erdosRenyi(std::uint32_t rows, std::uint32_t cols,
+                     std::size_t nnz_target, Rng &rng,
+                     ValueDistribution dist =
+                         ValueDistribution::PositiveUniform);
+
+/**
+ * Recursive-matrix (R-MAT) graph in the Graph500 style; reproduces the
+ * skewed degree distributions of SNAP graphs. Partition probabilities
+ * (a, b, c, d) must sum to ~1; Graph500 uses (0.57, 0.19, 0.19, 0.05).
+ */
+CsrMatrix rmat(std::uint32_t scale, std::size_t nnz_target, Rng &rng,
+               double a = 0.57, double b = 0.19, double c = 0.19,
+               ValueDistribution dist = ValueDistribution::PositiveUniform);
+
+/**
+ * Barabási–Albert preferential attachment digraph over @p nodes vertices
+ * with ~@p edges_per_node out-edges each; models citation/vote networks
+ * (wiki-Vote, soc-Slashdot).
+ */
+CsrMatrix preferentialAttachment(std::uint32_t nodes,
+                                 std::uint32_t edges_per_node, Rng &rng,
+                                 ValueDistribution dist =
+                                     ValueDistribution::PositiveUniform);
+
+/**
+ * Banded matrix with stochastic fill inside the band; the structure of
+ * collocation-based trajectory-optimization problems.
+ * @param fill probability that a position inside the band is non-zero
+ */
+CsrMatrix banded(std::uint32_t n, std::uint32_t bandwidth, double fill,
+                 Rng &rng,
+                 ValueDistribution dist =
+                     ValueDistribution::PositiveUniform);
+
+/**
+ * Banded matrix with a dense border: @p dense_rows evenly spaced rows are
+ * fully populated. This is the arrowhead/KKT structure of trajectory-
+ * optimization matrices (objective and phase-coupling constraints touch
+ * every variable) and is what drives the extreme PE underutilization of
+ * intra-channel scheduling: a dense row serializes on one accumulator at
+ * the RAW distance once its lane's other rows are exhausted.
+ */
+CsrMatrix arrowBanded(std::uint32_t n, std::uint32_t bandwidth, double fill,
+                      std::uint32_t dense_rows, Rng &rng,
+                      ValueDistribution dist =
+                          ValueDistribution::PositiveUniform);
+
+/**
+ * Repeated dense-ish diagonal blocks plus sparse off-block coupling;
+ * the structure of multi-phase optimal-control and OPF matrices.
+ */
+CsrMatrix blockDiagonal(std::uint32_t n, std::uint32_t block_size,
+                        double block_fill, double coupling_fill, Rng &rng,
+                        ValueDistribution dist =
+                            ValueDistribution::PositiveUniform);
+
+/**
+ * Exact Mycielski graph M_k as a symmetric adjacency matrix.
+ * M_2 = K_2; vertices(M_k) = 2^(k-1) + 2^(k-2) - 1... built iteratively:
+ * n' = 2n+1, e' = 3e+n. mycielskian(12) is 3071x3071 with 407200
+ * stored entries, exactly the paper's MY matrix.
+ */
+CsrMatrix mycielskian(unsigned k,
+                      ValueDistribution dist = ValueDistribution::Ones);
+
+/** 5-point 2-D Poisson stencil on a grid x grid mesh (SPD, diagonal 4). */
+CsrMatrix poisson2d(std::uint32_t grid);
+
+/**
+ * Matrix with Zipf-distributed row lengths (exponent @p s > 1) and random
+ * column positions; used to sweep row-imbalance in the 800-matrix corpus.
+ */
+CsrMatrix zipfRows(std::uint32_t rows, std::uint32_t cols,
+                   std::size_t nnz_target, double s, Rng &rng,
+                   ValueDistribution dist =
+                       ValueDistribution::PositiveUniform);
+
+/** Dense random vector of length @p n with values in [0.1, 1). */
+std::vector<float> randomVector(std::uint32_t n, Rng &rng);
+
+} // namespace sparse
+} // namespace chason
+
+#endif // CHASON_SPARSE_GENERATORS_H_

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Matrix Market reader/writer implementation.
+ */
+
+#include "sparse/matrix_market.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sparse {
+
+namespace {
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+} // namespace
+
+CooMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        chason_fatal("matrix market: empty stream");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (lower(tag) != "%%matrixmarket")
+        chason_fatal("matrix market: missing %%%%MatrixMarket banner");
+    object = lower(object);
+    format = lower(format);
+    field = lower(field);
+    symmetry = lower(symmetry);
+    if (object != "matrix" || format != "coordinate")
+        chason_fatal("matrix market: only 'matrix coordinate' supported, "
+                     "got '%s %s'", object.c_str(), format.c_str());
+    if (field != "real" && field != "integer" && field != "pattern")
+        chason_fatal("matrix market: unsupported field '%s'", field.c_str());
+    if (symmetry != "general" && symmetry != "symmetric" &&
+        symmetry != "skew-symmetric") {
+        chason_fatal("matrix market: unsupported symmetry '%s'",
+                     symmetry.c_str());
+    }
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+
+    std::istringstream dims(line);
+    long long rows = 0, cols = 0, entries = 0;
+    dims >> rows >> cols >> entries;
+    if (rows <= 0 || cols <= 0 || entries < 0)
+        chason_fatal("matrix market: bad size line '%s'", line.c_str());
+
+    const bool pattern = field == "pattern";
+    const bool symmetric = symmetry != "general";
+    const bool skew = symmetry == "skew-symmetric";
+
+    CooMatrix coo(static_cast<std::uint32_t>(rows),
+                  static_cast<std::uint32_t>(cols));
+    for (long long i = 0; i < entries; ++i) {
+        long long r = 0, c = 0;
+        double v = 1.0;
+        if (!(in >> r >> c))
+            chason_fatal("matrix market: truncated at entry %lld", i);
+        if (!pattern && !(in >> v))
+            chason_fatal("matrix market: missing value at entry %lld", i);
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            chason_fatal("matrix market: entry (%lld,%lld) out of bounds",
+                         r, c);
+        const auto row = static_cast<std::uint32_t>(r - 1);
+        const auto col = static_cast<std::uint32_t>(c - 1);
+        coo.add(row, col, static_cast<float>(v));
+        if (symmetric && row != col)
+            coo.add(col, row, static_cast<float>(skew ? -v : v));
+    }
+    return coo;
+}
+
+CooMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        chason_fatal("cannot open matrix market file '%s'", path.c_str());
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const CooMatrix &matrix, std::ostream &out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << matrix.rows() << ' ' << matrix.cols() << ' ' << matrix.nnz()
+        << '\n';
+    for (const Triplet &t : matrix.entries())
+        out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.value << '\n';
+}
+
+void
+writeMatrixMarketFile(const CooMatrix &matrix, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        chason_fatal("cannot create matrix market file '%s'", path.c_str());
+    writeMatrixMarket(matrix, out);
+}
+
+} // namespace sparse
+} // namespace chason

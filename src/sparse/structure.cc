@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structural analysis implementation.
+ */
+
+#include "sparse/structure.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace sparse {
+
+double
+StructureProfile::serializationRatio(unsigned lanes,
+                                     unsigned raw_distance) const
+{
+    chason_assert(lanes > 0 && raw_distance > 0, "bad geometry");
+    if (nnz == 0)
+        return 0.0;
+    // Perfect packing: nnz spread over all lanes, one per beat.
+    const double packing =
+        static_cast<double>(nnz) / static_cast<double>(lanes);
+    // The heaviest row alone serializes at the RAW distance.
+    const double serial = static_cast<double>(maxRowNnz) *
+        static_cast<double>(raw_distance);
+    return serial / packing;
+}
+
+std::string
+StructureProfile::describe() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%ux%u nnz=%zu meanRow=%.1f maxRow=%zu empty=%u "
+                  "gini=%.2f top1%%=%.1f%% bandwidth=%u",
+                  rows, cols, nnz, meanRowNnz, maxRowNnz, emptyRows,
+                  rowGini, 100.0 * top1PercentShare, bandwidth);
+    return buf;
+}
+
+StructureProfile
+analyzeStructure(const CsrMatrix &a)
+{
+    StructureProfile p;
+    p.rows = a.rows();
+    p.cols = a.cols();
+    p.nnz = a.nnz();
+    if (a.rows() == 0)
+        return p;
+
+    std::vector<std::size_t> lengths(a.rows());
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        lengths[r] = a.rowNnz(r);
+        p.maxRowNnz = std::max(p.maxRowNnz, lengths[r]);
+        if (lengths[r] == 0)
+            ++p.emptyRows;
+        for (std::size_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1]; ++i) {
+            const std::uint32_t c = a.colIdx()[i];
+            const std::uint32_t dist = c > r ? c - r : r - c;
+            p.bandwidth = std::max(p.bandwidth, dist);
+        }
+    }
+    p.meanRowNnz = static_cast<double>(p.nnz) /
+        static_cast<double>(p.rows);
+
+    std::sort(lengths.begin(), lengths.end());
+
+    // Gini via the sorted-sum formula:
+    // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, i is 1-based.
+    if (p.nnz > 0) {
+        long double weighted = 0.0L;
+        for (std::size_t i = 0; i < lengths.size(); ++i) {
+            weighted += static_cast<long double>(i + 1) *
+                static_cast<long double>(lengths[i]);
+        }
+        const long double n = static_cast<long double>(lengths.size());
+        const long double total = static_cast<long double>(p.nnz);
+        p.rowGini = static_cast<double>(2.0L * weighted / (n * total) -
+                                        (n + 1.0L) / n);
+
+        // Share of the heaviest ceil(1%) rows.
+        const std::size_t top =
+            std::max<std::size_t>(1, (lengths.size() + 99) / 100);
+        std::size_t top_sum = 0;
+        for (std::size_t i = lengths.size() - top; i < lengths.size();
+             ++i) {
+            top_sum += lengths[i];
+        }
+        p.top1PercentShare = static_cast<double>(top_sum) /
+            static_cast<double>(p.nnz);
+    }
+    return p;
+}
+
+} // namespace sparse
+} // namespace chason

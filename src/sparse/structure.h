@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structural analysis of sparse matrices.
+ *
+ * The paper's whole argument is structural: PE-aware scheduling stalls
+ * when rows mapped to a lane run dry while a long row serializes, so
+ * the speedup CrHCS delivers is a function of row-length imbalance.
+ * This module quantifies that structure — row-length statistics, Gini
+ * coefficient of the row-length distribution, the serialization bound
+ * of the heaviest row, matrix bandwidth — so benches can correlate
+ * structure with measured speedup and users can predict what Chasoň
+ * will buy them on their own matrices.
+ */
+
+#ifndef CHASON_SPARSE_STRUCTURE_H_
+#define CHASON_SPARSE_STRUCTURE_H_
+
+#include <string>
+
+#include "sparse/formats.h"
+
+namespace chason {
+namespace sparse {
+
+/** Structural profile of one matrix. */
+struct StructureProfile
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::size_t nnz = 0;
+
+    double meanRowNnz = 0.0;
+    std::size_t maxRowNnz = 0;
+    std::uint32_t emptyRows = 0;
+
+    /**
+     * Gini coefficient of the row-length distribution in [0, 1):
+     * 0 = perfectly uniform rows, -> 1 = all mass in few rows.
+     */
+    double rowGini = 0.0;
+
+    /** Share of all non-zeros held by the heaviest 1% of rows. */
+    double top1PercentShare = 0.0;
+
+    /** Matrix bandwidth: max |row - col| over the non-zeros. */
+    std::uint32_t bandwidth = 0;
+
+    /**
+     * The heaviest row's serialization bound relative to the perfect
+     * packing bound for a given lane/PE geometry: values >> 1 mean the
+     * matrix is tail-dominated and intra-channel scheduling will stall
+     * (the regime where CrHCS wins most).
+     */
+    double serializationRatio(unsigned lanes,
+                              unsigned raw_distance) const;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/** Compute the profile of @p a. */
+StructureProfile analyzeStructure(const CsrMatrix &a);
+
+} // namespace sparse
+} // namespace chason
+
+#endif // CHASON_SPARSE_STRUCTURE_H_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The closed-form estimator must agree with the beat-level simulator
+ * cycle-for-cycle on every matrix family (parameterized sweep).
+ */
+
+#include "arch/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/chason_accel.h"
+#include "arch/serpens_accel.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "sched/crhcs.h"
+#include "sched/pe_aware.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace arch {
+namespace {
+
+struct EstCase
+{
+    std::string name;
+    std::uint64_t seed;
+    std::function<sparse::CsrMatrix(Rng &)> make;
+};
+
+std::vector<EstCase>
+cases()
+{
+    return {
+        {"erdos", 1,
+         [](Rng &r) { return sparse::erdosRenyi(500, 700, 6000, r); }},
+        {"zipf", 2,
+         [](Rng &r) { return sparse::zipfRows(400, 400, 5000, 1.3, r); }},
+        {"arrow", 3,
+         [](Rng &r) { return sparse::arrowBanded(600, 6, 0.3, 3, r); }},
+        {"graph", 4,
+         [](Rng &r) { return sparse::preferentialAttachment(900, 6, r); }},
+        {"multiwindow", 5,
+         [](Rng &r) { return sparse::erdosRenyi(200, 20000, 9000, r); }},
+        {"multipass", 6,
+         [](Rng &r) { return sparse::erdosRenyi(300000, 200, 40000, r); }},
+        {"mycielskian", 7, [](Rng &) { return sparse::mycielskian(7); }},
+    };
+}
+
+class EstimatorAgreement : public ::testing::TestWithParam<EstCase>
+{
+};
+
+TEST_P(EstimatorAgreement, ChasonCyclesExact)
+{
+    Rng rng(GetParam().seed);
+    const sparse::CsrMatrix a = GetParam().make(rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const ArchConfig cfg;
+    const sched::Schedule sch =
+        sched::CrhcsScheduler(cfg.sched).schedule(a);
+
+    const RunResult run = ChasonAccelerator(cfg).run(sch, x);
+    const CycleBreakdown est =
+        estimateCycles(sch, cfg, DatapathKind::Chason);
+
+    EXPECT_EQ(run.cycles.matrixStream, est.matrixStream);
+    EXPECT_EQ(run.cycles.xLoad, est.xLoad);
+    EXPECT_EQ(run.cycles.pipelineFill, est.pipelineFill);
+    EXPECT_EQ(run.cycles.reduction, est.reduction);
+    EXPECT_EQ(run.cycles.writeback, est.writeback);
+    EXPECT_EQ(run.cycles.instStream, est.instStream);
+    EXPECT_EQ(run.cycles.launch, est.launch);
+    EXPECT_EQ(run.cycles.total(), est.total());
+    EXPECT_NEAR(run.latencyUs,
+                estimateLatencyUs(sch, cfg, DatapathKind::Chason), 1e-9);
+}
+
+TEST_P(EstimatorAgreement, SerpensCyclesExact)
+{
+    Rng rng(GetParam().seed + 100);
+    const sparse::CsrMatrix a = GetParam().make(rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    ArchConfig cfg;
+    cfg.sched.migrationDepth = 0;
+    const sched::Schedule sch =
+        sched::PeAwareScheduler(cfg.sched).schedule(a);
+
+    const RunResult run = SerpensAccelerator(cfg).run(sch, x);
+    const CycleBreakdown est =
+        estimateCycles(sch, cfg, DatapathKind::Serpens);
+    EXPECT_EQ(run.cycles.total(), est.total());
+    EXPECT_EQ(run.cycles.reduction, 0u);
+    EXPECT_EQ(est.reduction, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EstimatorAgreement, ::testing::ValuesIn(cases()),
+    [](const auto &info) { return info.param.name; });
+
+TEST(Estimator, FrequencyPerKind)
+{
+    EXPECT_NEAR(datapathFrequencyMhz(DatapathKind::Chason), 301.0, 0.5);
+    EXPECT_NEAR(datapathFrequencyMhz(DatapathKind::Serpens), 223.0, 0.5);
+}
+
+} // namespace
+} // namespace arch
+} // namespace chason

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the power model against Fig. 10.
+ */
+
+#include "arch/power.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace arch {
+namespace {
+
+TEST(Power, Fig10TotalIs48_715W)
+{
+    // Fig. 10's printed components sum to 48.625 W against the stated
+    // 48.715 W total (the paper rounds); accept the component sum.
+    const PowerBreakdown p = chasonEstimatedPower();
+    EXPECT_NEAR(p.totalW(), 48.715, 0.1);
+    EXPECT_NEAR(p.staticW, 12.845, 1e-9);
+    EXPECT_NEAR(p.dynamicW(), 35.78, 0.1);
+}
+
+TEST(Power, HbmDominates)
+{
+    const PowerBreakdown p = chasonEstimatedPower();
+    EXPECT_GT(p.hbmW, p.logicW);
+    EXPECT_GT(p.hbmW, p.uramW);
+    EXPECT_NEAR(p.hbmW, 18.95, 1e-9);
+}
+
+TEST(Power, LogicShareIsEightPercent)
+{
+    // Section 5.1: "Chasoň logic is only taking 8% of the total power".
+    const PowerBreakdown p = chasonEstimatedPower();
+    EXPECT_NEAR(100.0 * p.logicW / p.totalW(), 8.0, 2.5);
+}
+
+TEST(Power, MemorySharesAreSmall)
+{
+    const PowerBreakdown p = chasonEstimatedPower();
+    EXPECT_NEAR(100.0 * p.bramW / p.totalW(), 3.0, 1.0);
+    EXPECT_NEAR(100.0 * p.uramW / p.totalW(), 4.0, 1.5);
+}
+
+TEST(Power, EstimateAtReferencePointReproducesFig10)
+{
+    const PowerBreakdown p =
+        estimatePower(chasonResources(ArchConfig{}), 301.0);
+    EXPECT_NEAR(p.totalW(), chasonEstimatedPower().totalW(), 1e-6);
+}
+
+TEST(Power, SerpensEstimateIsLower)
+{
+    const PowerBreakdown serpens =
+        estimatePower(serpensResources(ArchConfig{}), 223.0);
+    const PowerBreakdown chason =
+        estimatePower(chasonResources(ArchConfig{}), 301.0);
+    EXPECT_LT(serpens.dynamicW(), chason.dynamicW());
+    // Static + HBM components do not scale away.
+    EXPECT_DOUBLE_EQ(serpens.staticW, chason.staticW);
+    EXPECT_DOUBLE_EQ(serpens.hbmW, chason.hbmW);
+}
+
+TEST(Power, FrequencyScalesDynamicOnly)
+{
+    const FpgaResources r = chasonResources(ArchConfig{});
+    const PowerBreakdown fast = estimatePower(r, 301.0);
+    const PowerBreakdown slow = estimatePower(r, 150.5);
+    EXPECT_NEAR(slow.clocksW, fast.clocksW / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(slow.staticW, fast.staticW);
+}
+
+TEST(Power, MeasuredNumbersMatchPaper)
+{
+    // Section 6.2.2: ~39 W vs ~36 W measured with xbutil.
+    EXPECT_DOUBLE_EQ(chasonMeasuredPowerW(), 39.0);
+    EXPECT_DOUBLE_EQ(serpensMeasuredPowerW(), 36.0);
+    EXPECT_GT(chasonMeasuredPowerW(), serpensMeasuredPowerW());
+}
+
+} // namespace
+} // namespace arch
+} // namespace chason

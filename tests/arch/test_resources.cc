@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the resource model against Table 1.
+ */
+
+#include "arch/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace arch {
+namespace {
+
+TEST(Resources, SerpensMatchesTable1)
+{
+    const FpgaResources r = serpensResources(ArchConfig{});
+    EXPECT_NEAR(static_cast<double>(r.lut), 219000.0, 1000.0);
+    EXPECT_NEAR(static_cast<double>(r.ff), 252000.0, 1000.0);
+    EXPECT_EQ(r.dsp, 798u);
+    EXPECT_EQ(r.bram18k, 1024u);
+    EXPECT_EQ(r.uram, 384u);
+    EXPECT_TRUE(r.fitsU55c());
+}
+
+TEST(Resources, ChasonMatchesTable1)
+{
+    const FpgaResources r = chasonResources(ArchConfig{});
+    EXPECT_NEAR(static_cast<double>(r.lut), 346000.0, 1000.0);
+    EXPECT_NEAR(static_cast<double>(r.ff), 418000.0, 1000.0);
+    EXPECT_EQ(r.dsp, 1254u);
+    EXPECT_EQ(r.bram18k, 1024u);
+    EXPECT_EQ(r.uram, 512u);
+    EXPECT_TRUE(r.fitsU55c());
+}
+
+TEST(Resources, UramPercentagesMatchTable1)
+{
+    EXPECT_NEAR(serpensResources(ArchConfig{}).uramPercent(), 40.0, 0.5);
+    EXPECT_NEAR(chasonResources(ArchConfig{}).uramPercent(), 52.0, 1.5);
+}
+
+TEST(Resources, FullScugDoesNotFitU55c)
+{
+    // Section 4.5: the theoretical 8-URAM ScUG needs 1024 URAMs, more
+    // than the 960 available.
+    ArchConfig cfg;
+    cfg.scugSize = 8;
+    EXPECT_EQ(chasonUramCount(cfg), 1024u);
+    EXPECT_FALSE(chasonResources(cfg).fitsU55c());
+}
+
+TEST(Resources, ShippedScugUses512Urams)
+{
+    ArchConfig cfg;
+    cfg.scugSize = 4;
+    EXPECT_EQ(chasonUramCount(cfg), 512u);
+}
+
+TEST(Resources, MinimalScugUses128Urams)
+{
+    ArchConfig cfg;
+    cfg.scugSize = 1;
+    cfg.sched.rowsPerLanePerPass = 1024;
+    EXPECT_EQ(chasonUramCount(cfg), 128u);
+    EXPECT_TRUE(chasonResources(cfg).fitsU55c());
+}
+
+TEST(Resources, DeeperMigrationCostsMoreUram)
+{
+    ArchConfig d1;
+    d1.sched.migrationDepth = 1;
+    ArchConfig d2 = d1;
+    d2.sched.migrationDepth = 2;
+    d2.sched.rowsPerLanePerPass = 4096;
+    EXPECT_GT(chasonResources(d2).uram, chasonResources(d1).uram);
+    EXPECT_GT(chasonResources(d2).dsp, chasonResources(d1).dsp);
+}
+
+TEST(Resources, ChasonCostsMoreThanSerpens)
+{
+    const FpgaResources s = serpensResources(ArchConfig{});
+    const FpgaResources c = chasonResources(ArchConfig{});
+    EXPECT_GT(c.lut, s.lut);
+    EXPECT_GT(c.ff, s.ff);
+    EXPECT_GT(c.dsp, s.dsp);
+    EXPECT_GT(c.uram, s.uram);
+    EXPECT_EQ(c.bram18k, s.bram18k); // same x buffering
+}
+
+TEST(ArchConfig, CapacityFollowsScugSize)
+{
+    ArchConfig cfg;
+    cfg.scugSize = 8;
+    EXPECT_EQ(cfg.capacityRowsPerLane(), 8192u);
+    cfg.scugSize = 4;
+    EXPECT_EQ(cfg.capacityRowsPerLane(), 4096u);
+    cfg.scugSize = 1;
+    EXPECT_EQ(cfg.capacityRowsPerLane(), 1024u);
+    cfg.sched.migrationDepth = 0; // Serpens: only the private URAM
+    EXPECT_EQ(cfg.capacityRowsPerLane(), 8192u);
+}
+
+TEST(ArchConfigDeath, OverCapacityPassHeightPanics)
+{
+    ArchConfig cfg;
+    cfg.scugSize = 1;
+    cfg.sched.rowsPerLanePerPass = 4096; // capacity is 1024
+    EXPECT_DEATH(cfg.validate(), "capacity");
+}
+
+TEST(ArchConfig, ChannelRoles)
+{
+    ArchConfig cfg;
+    EXPECT_EQ(cfg.xChannel(), 16u);
+    EXPECT_EQ(cfg.yChannel(), 17u);
+    EXPECT_EQ(cfg.instChannel(), 18u);
+    EXPECT_EQ(cfg.usedChannels(), 19u); // Section 5.1: 19 channels
+}
+
+} // namespace
+} // namespace arch
+} // namespace chason

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the multithreaded CPU SpMV baseline.
+ */
+
+#include "baselines/cpu_spmv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace baselines {
+namespace {
+
+TEST(CpuSpmv, MatchesReferenceSingleThread)
+{
+    Rng rng(1);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(200, 200, 3000, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const std::vector<float> y = CpuSpmv(1).run(a, x);
+    const std::vector<double> ref = sparse::spmvReference(a, x);
+    EXPECT_LE(sparse::maxRelativeError(y, ref), 1.0);
+}
+
+TEST(CpuSpmv, MatchesReferenceMultiThread)
+{
+    Rng rng(2);
+    const sparse::CsrMatrix a = sparse::zipfRows(500, 500, 20000, 1.3,
+                                                 rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const std::vector<float> st = CpuSpmv(1).run(a, x);
+    const std::vector<float> mt = CpuSpmv(4).run(a, x);
+    // Row-parallel partitioning preserves per-row accumulation order.
+    EXPECT_EQ(st, mt);
+}
+
+TEST(CpuSpmv, DefaultsToHardwareConcurrency)
+{
+    EXPECT_GE(CpuSpmv().threads(), 1u);
+    EXPECT_EQ(CpuSpmv(3).threads(), 3u);
+}
+
+TEST(CpuSpmv, HandlesEmptyMatrix)
+{
+    sparse::CooMatrix coo(10, 10);
+    const sparse::CsrMatrix a = coo.toCsr();
+    const std::vector<float> x(10, 1.0f);
+    const std::vector<float> y = CpuSpmv(2).run(a, x);
+    for (float v : y)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CpuSpmv, HandlesHeavySingleRow)
+{
+    sparse::CooMatrix coo(4, 1000);
+    for (std::uint32_t c = 0; c < 1000; ++c)
+        coo.add(2, c, 1.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    const std::vector<float> x(1000, 0.5f);
+    const std::vector<float> y = CpuSpmv(4).run(a, x);
+    EXPECT_FLOAT_EQ(y[2], 500.0f);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+}
+
+TEST(CpuSpmv, MeasureLatencyIsPositive)
+{
+    Rng rng(3);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(100, 100, 1000, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    EXPECT_GT(CpuSpmv(2).measureLatencyUs(a, x, 1, 3), 0.0);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace chason

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Calibration tests for the analytical GPU/CPU baseline models.
+ */
+
+#include "baselines/device_models.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace baselines {
+namespace {
+
+TEST(DeviceSpecs, PaperHardwareParameters)
+{
+    EXPECT_NEAR(DeviceSpec::rtx4090().dramBandwidthGBps, 1008.0, 1.0);
+    EXPECT_NEAR(DeviceSpec::rtxA6000Ada().dramBandwidthGBps, 768.0, 1.0);
+    EXPECT_NEAR(DeviceSpec::rtx4090().averagePowerW, 70.0, 0.1);
+    EXPECT_NEAR(DeviceSpec::rtxA6000Ada().averagePowerW, 65.0, 0.1);
+    EXPECT_NEAR(DeviceSpec::corei9_11980hk().averagePowerW, 132.0, 0.1);
+}
+
+TEST(DeviceModels, PeakGflopsLandNearPaperPeaks)
+{
+    // Section 6.2.1: peak throughput over the 800-matrix corpus is
+    // 19.83 (4090), 44.20 (A6000) and 23.88 (i9) GFLOPS. Evaluate each
+    // model at a large cache-resident matrix (nnz 1e6, n 64 K).
+    const AnalyticalSpmvModel gpu4090(DeviceSpec::rtx4090());
+    const AnalyticalSpmvModel a6000(DeviceSpec::rtxA6000Ada());
+    const AnalyticalSpmvModel i9(DeviceSpec::corei9_11980hk());
+    const std::size_t nnz = 1000000;
+    const std::uint32_t n = 65536;
+    EXPECT_NEAR(gpu4090.gflops(nnz, n, n), 19.83, 4.0);
+    EXPECT_NEAR(a6000.gflops(nnz, n, n), 44.20, 9.0);
+    EXPECT_NEAR(i9.gflops(nnz, n, n), 23.88, 5.0);
+}
+
+TEST(DeviceModels, DispatchOverheadDominatesSmallMatrices)
+{
+    const AnalyticalSpmvModel gpu(DeviceSpec::rtx4090());
+    const double tiny = gpu.latencyUs(2000, 1000, 1000);
+    EXPECT_NEAR(tiny, gpu.spec().dispatchOverheadUs, 1.0);
+    // Doubling a tiny workload barely changes latency.
+    const double tiny2 = gpu.latencyUs(4000, 1000, 1000);
+    EXPECT_LT(tiny2 / tiny, 1.05);
+}
+
+TEST(DeviceModels, CpuBeatsGpusOnSmallMatrices)
+{
+    // The paper's surprising result: the i9 outruns both GPUs on the
+    // small, cache-resident corpus because of GPU dispatch overheads.
+    const AnalyticalSpmvModel gpu4090(DeviceSpec::rtx4090());
+    const AnalyticalSpmvModel a6000(DeviceSpec::rtxA6000Ada());
+    const AnalyticalSpmvModel i9(DeviceSpec::corei9_11980hk());
+    const std::size_t nnz = 30000;
+    const std::uint32_t n = 4000;
+    EXPECT_LT(i9.latencyUs(nnz, n, n), gpu4090.latencyUs(nnz, n, n));
+    EXPECT_LT(i9.latencyUs(nnz, n, n), a6000.latencyUs(nnz, n, n));
+}
+
+TEST(DeviceModels, A6000FasterThan4090)
+{
+    // Matches the paper's ordering (geomean 1.28x vs 4x speedups).
+    const AnalyticalSpmvModel gpu4090(DeviceSpec::rtx4090());
+    const AnalyticalSpmvModel a6000(DeviceSpec::rtxA6000Ada());
+    for (std::size_t nnz : {10000ul, 100000ul, 1000000ul}) {
+        EXPECT_LT(a6000.latencyUs(nnz, 10000, 10000),
+                  gpu4090.latencyUs(nnz, 10000, 10000));
+    }
+}
+
+TEST(DeviceModels, SpillingToDramSlowsDown)
+{
+    const AnalyticalSpmvModel i9(DeviceSpec::corei9_11980hk());
+    // ~16 MB resident vs ~160 MB spilled.
+    const double resident = i9.latencyUs(2000000, 10000, 10000);
+    const double spilled = i9.latencyUs(20000000, 100000, 100000);
+    EXPECT_GT(spilled, 10.0 * resident);
+}
+
+TEST(DeviceModels, TrafficBytesFormula)
+{
+    // nnz*8 + rows*12 + cols*4.
+    EXPECT_EQ(AnalyticalSpmvModel::trafficBytes(10, 4, 8),
+              10u * 8 + 4u * 12 + 8u * 4);
+}
+
+TEST(DeviceModels, EnergyEfficiencyUsesMeasuredPower)
+{
+    const AnalyticalSpmvModel i9(DeviceSpec::corei9_11980hk());
+    const double g = i9.gflops(100000, 5000, 5000);
+    EXPECT_NEAR(i9.energyEfficiency(100000, 5000, 5000), g / 132.0,
+                1e-9);
+}
+
+} // namespace
+} // namespace baselines
+} // namespace chason

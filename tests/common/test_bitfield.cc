@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the bit-field helpers.
+ */
+
+#include "common/bitfield.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace {
+
+TEST(MaskBits, Widths)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(13), 0x1fffu);
+    EXPECT_EQ(maskBits(15), 0x7fffu);
+    EXPECT_EQ(maskBits(32), 0xffffffffull);
+    EXPECT_EQ(maskBits(64), ~0ull);
+}
+
+TEST(ExtractBits, Basic)
+{
+    const std::uint64_t word = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(extractBits(word, 0, 4), 0xDu);
+    EXPECT_EQ(extractBits(word, 4, 8), 0x00u);
+    EXPECT_EQ(extractBits(word, 32, 32), 0xDEADBEEFull);
+    EXPECT_EQ(extractBits(word, 0, 64), word);
+}
+
+TEST(InsertBits, RoundTrip)
+{
+    std::uint64_t word = 0;
+    word = insertBits(word, 0, 13, 0x1abc);
+    word = insertBits(word, 13, 3, 5);
+    word = insertBits(word, 16, 1, 1);
+    word = insertBits(word, 17, 15, 0x7fff);
+    EXPECT_EQ(extractBits(word, 0, 13), 0x1abcu);
+    EXPECT_EQ(extractBits(word, 13, 3), 5u);
+    EXPECT_EQ(extractBits(word, 16, 1), 1u);
+    EXPECT_EQ(extractBits(word, 17, 15), 0x7fffu);
+}
+
+TEST(InsertBits, Overwrite)
+{
+    std::uint64_t word = ~0ull;
+    word = insertBits(word, 8, 8, 0x00);
+    EXPECT_EQ(extractBits(word, 8, 8), 0x00u);
+    EXPECT_EQ(extractBits(word, 0, 8), 0xffu);
+    EXPECT_EQ(extractBits(word, 16, 8), 0xffu);
+}
+
+TEST(InsertBits, OverflowPanics)
+{
+    EXPECT_DEATH(insertBits(0, 0, 3, 8), "does not fit");
+}
+
+TEST(FloatBits, RoundTrip)
+{
+    const float values[] = {0.0f, 1.0f, -1.0f, 3.14159f, 1e-30f, -1e30f};
+    for (float v : values)
+        EXPECT_EQ(bitsToFloat(floatToBits(v)), v);
+}
+
+TEST(FloatBits, KnownPattern)
+{
+    EXPECT_EQ(floatToBits(1.0f), 0x3f800000u);
+    EXPECT_EQ(bitsToFloat(0x40490fdbu), 3.14159274f);
+}
+
+} // namespace
+} // namespace chason

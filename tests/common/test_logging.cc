@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the logging / assertion helpers.
+ */
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace {
+
+TEST(Assert, PassingConditionIsSilent)
+{
+    chason_assert(1 + 1 == 2);
+    chason_assert(true, "message %d", 42);
+    SUCCEED();
+}
+
+TEST(AssertDeath, FailingConditionAborts)
+{
+    EXPECT_DEATH(chason_assert(false, "custom detail %d", 7),
+                 "custom detail 7");
+}
+
+TEST(AssertDeath, ConditionTextIsReported)
+{
+    EXPECT_DEATH(chason_assert(2 > 3), "2 > 3");
+}
+
+TEST(PanicDeath, Aborts)
+{
+    EXPECT_DEATH(chason_panic("boom %s", "now"), "boom now");
+}
+
+TEST(FatalDeath, ExitsWithError)
+{
+    EXPECT_EXIT(chason_fatal("bad config: %d", -1),
+                ::testing::ExitedWithCode(1), "bad config: -1");
+}
+
+TEST(Warn, DoesNotTerminate)
+{
+    warn("just a warning %d", 1);
+    inform("just info");
+    setInformEnabled(false);
+    inform("suppressed");
+    setInformEnabled(true);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace chason

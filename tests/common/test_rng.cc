@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace chason {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBoundedInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, NextBoundedCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NextDoubleUniformish)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfHeavyHead)
+{
+    Rng rng(23);
+    int head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t r = rng.nextZipf(1000, 2.0);
+        EXPECT_LT(r, 1000u);
+        head += r == 0;
+    }
+    // Rank 0 carries ~ 1/zeta(2) ~ 61% of the mass.
+    EXPECT_GT(head, n / 2);
+}
+
+TEST(Rng, SplitIndependentStreams)
+{
+    Rng a(31);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix, KnownSequenceIsStable)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t first = splitMix64(s);
+    const std::uint64_t second = splitMix64(s);
+    EXPECT_NE(first, second);
+    std::uint64_t s2 = 0;
+    EXPECT_EQ(splitMix64(s2), first);
+}
+
+} // namespace
+} // namespace chason

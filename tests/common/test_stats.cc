@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for statistics helpers.
+ */
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace chason {
+namespace {
+
+TEST(SummaryStats, Basics)
+{
+    SummaryStats st;
+    st.add({4.0, 1.0, 3.0, 2.0});
+    EXPECT_EQ(st.count(), 4u);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 4.0);
+    EXPECT_DOUBLE_EQ(st.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(st.median(), 2.5);
+}
+
+TEST(SummaryStats, Geomean)
+{
+    SummaryStats st;
+    st.add({1.0, 4.0});
+    EXPECT_DOUBLE_EQ(st.geomean(), 2.0);
+    st.add(2.0);
+    EXPECT_NEAR(st.geomean(), 2.0, 1e-12);
+}
+
+TEST(SummaryStats, GeomeanRejectsNonPositive)
+{
+    SummaryStats st;
+    st.add({1.0, -2.0});
+    EXPECT_DEATH(st.geomean(), "positive");
+}
+
+TEST(SummaryStats, Percentiles)
+{
+    SummaryStats st;
+    for (int i = 0; i <= 100; ++i)
+        st.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(st.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(st.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(st.percentile(100), 100.0);
+    EXPECT_NEAR(st.percentile(25), 25.0, 1e-9);
+}
+
+TEST(SummaryStats, StddevKnown)
+{
+    SummaryStats st;
+    st.add({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(st.stddev(), 2.0);
+}
+
+TEST(SummaryStats, AddAfterQueryInvalidatesCache)
+{
+    SummaryStats st;
+    st.add(1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 1.0);
+    st.add(5.0);
+    EXPECT_DOUBLE_EQ(st.max(), 5.0);
+}
+
+TEST(Histogram, BinningAndFrequency)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(5.0); // bin 0
+    h.add(95.0);    // bin 9
+    EXPECT_EQ(h.count(0), 10u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 11u);
+    EXPECT_NEAR(h.frequency(0), 10.0 / 11.0, 1e-12);
+    EXPECT_EQ(h.modeBin(), 0u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 5.0);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(1e9);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 100.0);
+    double integral = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        integral += h.density(b) * 0.25;
+    EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(KdePdf, PeakNearSampleMass)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 200; ++i)
+        samples.push_back(70.0 + (i % 10) * 0.1);
+    KdePdf kde(samples);
+    EXPECT_NEAR(kde.peak(0.0, 100.0), 70.5, 2.0);
+}
+
+TEST(KdePdf, DensityIntegratesToOne)
+{
+    std::vector<double> samples = {10, 20, 30, 40, 50};
+    KdePdf kde(samples);
+    const auto grid = kde.evaluate(-100.0, 160.0, 2000);
+    double integral = 0.0;
+    const double dx = 260.0 / 1999.0;
+    for (const auto &[x, d] : grid)
+        integral += d * dx;
+    EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdePdf, ExplicitBandwidth)
+{
+    KdePdf kde({0.0}, 1.0);
+    EXPECT_DOUBLE_EQ(kde.bandwidth(), 1.0);
+    // Standard normal density at 0.
+    EXPECT_NEAR(kde.density(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-9);
+}
+
+TEST(Geomean, FreeFunction)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+}
+
+} // namespace
+} // namespace chason

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit tests for the text table formatter.
+ */
+
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"id", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("id         value"), std::string::npos);
+    EXPECT_NE(s.find("long-name  22"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NoHeaderNoSeparator)
+{
+    TextTable t;
+    t.addRow({"x", "y"});
+    EXPECT_EQ(t.toString().find("---"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRows)
+{
+    TextTable t;
+    t.addRow({"a"});
+    t.addRow({"b", "c", "d"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("b  c  d"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(42.5, 1), "42.5%");
+    EXPECT_EQ(TextTable::speedup(6.096, 2), "6.10x");
+}
+
+} // namespace
+} // namespace chason

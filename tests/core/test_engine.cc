@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the Engine facade.
+ */
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace core {
+namespace {
+
+arch::ArchConfig
+smallConfig()
+{
+    arch::ArchConfig cfg;
+    cfg.sched.channels = 4;
+    cfg.sched.pesOverride = 4;
+    cfg.sched.rawDistance = 4;
+    cfg.sched.windowCols = 128;
+    cfg.sched.rowsPerLanePerPass = 64;
+    return cfg;
+}
+
+TEST(Engine, KindsSelectSchedulerAndDatapath)
+{
+    Engine chason(Engine::Kind::Chason, smallConfig());
+    EXPECT_EQ(chason.scheduler().name(), "crhcs");
+    EXPECT_EQ(chason.accelerator().name(), "chason");
+    Engine serpens(Engine::Kind::Serpens, smallConfig());
+    EXPECT_EQ(serpens.scheduler().name(), "pe-aware");
+    EXPECT_EQ(serpens.accelerator().name(), "serpens");
+    EXPECT_EQ(serpens.config().sched.migrationDepth, 0u);
+}
+
+TEST(Engine, ReportIsPopulated)
+{
+    Rng rng(1);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 200, 1000, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    Engine engine(Engine::Kind::Chason, smallConfig());
+
+    std::vector<float> y;
+    const SpmvReport report = engine.run(a, x, "unit", &y);
+
+    EXPECT_EQ(report.accelerator, "chason");
+    EXPECT_EQ(report.dataset, "unit");
+    EXPECT_EQ(report.nnz, a.nnz());
+    EXPECT_EQ(report.rows, a.rows());
+    EXPECT_EQ(report.cols, a.cols());
+    EXPECT_GT(report.latencyMs, 0.0);
+    EXPECT_GT(report.gflops, 0.0);
+    EXPECT_GT(report.energyEfficiency, 0.0);
+    EXPECT_GT(report.bandwidthEfficiency, 0.0);
+    EXPECT_GE(report.underutilizationPercent, 0.0);
+    EXPECT_LE(report.underutilizationPercent, 100.0);
+    EXPECT_EQ(report.perPegUnderutilization.size(), 4u);
+    EXPECT_GT(report.matrixStreamBytes, 0u);
+    EXPECT_GE(report.totalBytes, report.matrixStreamBytes);
+    EXPECT_EQ(y.size(), a.rows());
+    // Functional check already ran inside: must be within tolerance.
+    EXPECT_LE(report.functionalError, 1.0);
+}
+
+TEST(Engine, Equation5Consistency)
+{
+    Rng rng(2);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 100, 800, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const SpmvReport r =
+        Engine(Engine::Kind::Chason, smallConfig()).run(a, x);
+    const double flops = 2.0 * (static_cast<double>(a.nnz()) + a.cols());
+    EXPECT_NEAR(r.gflops, flops / (r.latencyMs * 1e6), 1e-9);
+}
+
+TEST(Engine, BandwidthEfficiencyEquation7)
+{
+    // Table 3 convention: GFLOPS per peak platform bandwidth in TB/s.
+    Rng rng(3);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 100, 800, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const SpmvReport r =
+        Engine(Engine::Kind::Chason, smallConfig()).run(a, x);
+    EXPECT_NEAR(r.bandwidthEfficiency, r.gflops / 0.45984, 1e-6);
+}
+
+TEST(Engine, RunScheduledSkipsRescheduling)
+{
+    Rng rng(4);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 100, 500, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    Engine engine(Engine::Kind::Serpens, smallConfig());
+    const sched::Schedule sch = engine.schedule(a);
+    const SpmvReport direct = engine.run(a, x);
+    const SpmvReport prebuilt = engine.runScheduled(sch, a, x);
+    EXPECT_EQ(direct.cycles, prebuilt.cycles);
+    EXPECT_EQ(direct.matrixStreamBytes, prebuilt.matrixStreamBytes);
+}
+
+TEST(Engine, PowerNumbersPerKind)
+{
+    Rng rng(5);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(32, 64, 256, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    EXPECT_DOUBLE_EQ(
+        Engine(Engine::Kind::Chason, smallConfig()).run(a, x).powerW,
+        39.0);
+    EXPECT_DOUBLE_EQ(
+        Engine(Engine::Kind::Serpens, smallConfig()).run(a, x).powerW,
+        36.0);
+}
+
+TEST(Compare, ProducesBothReports)
+{
+    Rng rng(6);
+    const sparse::CsrMatrix a = sparse::arrowBanded(128, 4, 0.3, 2, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const Comparison cmp = compare(a, x, "cmp", smallConfig());
+    EXPECT_EQ(cmp.chason.accelerator, "chason");
+    EXPECT_EQ(cmp.serpens.accelerator, "serpens");
+    EXPECT_GT(cmp.speedup(), 1.0);
+    EXPECT_GE(cmp.transferReduction(), 1.0);
+    EXPECT_GT(cmp.energyGain(), 0.0);
+}
+
+TEST(Engine, DefaultConfigIsPaperGeometry)
+{
+    Engine engine(Engine::Kind::Chason);
+    EXPECT_EQ(engine.config().sched.channels, 16u);
+    EXPECT_EQ(engine.config().sched.pesPerGroup(), 8u);
+    EXPECT_EQ(engine.config().sched.rawDistance, 10u);
+    EXPECT_EQ(engine.config().sched.windowCols, 8192u);
+    EXPECT_NEAR(engine.accelerator().frequencyMhz(), 301.0, 0.5);
+}
+
+} // namespace
+} // namespace core
+} // namespace chason

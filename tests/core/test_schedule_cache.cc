@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the schedule cache.
+ */
+
+#include "core/schedule_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace core {
+namespace {
+
+arch::ArchConfig
+smallConfig()
+{
+    arch::ArchConfig cfg;
+    cfg.sched.channels = 4;
+    cfg.sched.pesOverride = 4;
+    cfg.sched.rawDistance = 4;
+    cfg.sched.windowCols = 128;
+    cfg.sched.rowsPerLanePerPass = 64;
+    return cfg;
+}
+
+sparse::CsrMatrix
+matrix(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::erdosRenyi(64, 128, 700, rng);
+}
+
+TEST(Fingerprint, DeterministicAndSensitive)
+{
+    const sparse::CsrMatrix a = matrix(1);
+    EXPECT_EQ(fingerprint(a), fingerprint(a));
+    EXPECT_FALSE(fingerprint(a) == fingerprint(matrix(2)));
+
+    // A single value change must alter the fingerprint.
+    sparse::CooMatrix coo1(4, 4), coo2(4, 4);
+    coo1.add(1, 2, 1.0f);
+    coo2.add(1, 2, 1.5f);
+    EXPECT_FALSE(fingerprint(coo1.toCsr()) ==
+                 fingerprint(coo2.toCsr()));
+
+    // A structure change (same nnz) too.
+    sparse::CooMatrix coo3(4, 4);
+    coo3.add(2, 1, 1.0f);
+    EXPECT_FALSE(fingerprint(coo1.toCsr()) ==
+                 fingerprint(coo3.toCsr()));
+}
+
+TEST(ScheduleCache, HitsAfterFirstMiss)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache(engine, 4);
+    const sparse::CsrMatrix a = matrix(3);
+
+    const sched::Schedule &first = cache.get(a);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    const sched::Schedule &second = cache.get(a);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(&first, &second); // same resident object
+}
+
+TEST(ScheduleCache, EvictsLeastRecentlyUsed)
+{
+    Engine engine(Engine::Kind::Serpens, smallConfig());
+    ScheduleCache cache(engine, 2);
+    const sparse::CsrMatrix a = matrix(4);
+    const sparse::CsrMatrix b = matrix(5);
+    const sparse::CsrMatrix c = matrix(6);
+
+    cache.get(a);
+    cache.get(b);
+    cache.get(a); // a is now most recent
+    cache.get(c); // evicts b
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.get(a); // still resident
+    EXPECT_EQ(cache.hits(), 2u);
+    cache.get(b); // was evicted: miss again
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(ScheduleCache, CachedScheduleRunsCorrectly)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache(engine, 2);
+    const sparse::CsrMatrix a = matrix(7);
+    Rng rng(8);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+
+    const SpmvReport direct = engine.run(a, x);
+    const SpmvReport via_cache =
+        engine.runScheduled(cache.get(a), a, x);
+    EXPECT_EQ(direct.cycles, via_cache.cycles);
+    EXPECT_LE(via_cache.functionalError, 1.0);
+}
+
+TEST(ScheduleCache, ClearKeepsCounters)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache(engine, 2);
+    cache.get(matrix(9));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.get(matrix(9));
+    EXPECT_EQ(cache.misses(), 2u); // refilled after clear
+}
+
+} // namespace
+} // namespace core
+} // namespace chason

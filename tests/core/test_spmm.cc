@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the SpMM extension (Section 7.2).
+ */
+
+#include "core/spmm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace core {
+namespace {
+
+arch::ArchConfig
+smallArch()
+{
+    arch::ArchConfig cfg;
+    cfg.sched.pesOverride = 4;
+    cfg.sched.rawDistance = 4;
+    cfg.sched.windowCols = 256;
+    cfg.sched.rowsPerLanePerPass = 64;
+    return cfg;
+}
+
+std::vector<float>
+denseB(std::uint32_t rows, std::uint32_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> b(static_cast<std::size_t>(rows) * cols);
+    for (float &v : b)
+        v = rng.nextFloat(0.1f, 1.0f);
+    return b;
+}
+
+TEST(SpmmReference, MatchesHandComputation)
+{
+    // A = [[2, 0], [0, 3]], B = [[1, 4], [2, 5]] -> C = [[2, 8], [6, 15]]
+    sparse::CooMatrix coo(2, 2);
+    coo.add(0, 0, 2.0f);
+    coo.add(1, 1, 3.0f);
+    const std::vector<float> b = {1, 2, 4, 5}; // column-major
+    const std::vector<double> c = spmmReference(coo.toCsr(), b, 2);
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[1], 6.0);
+    EXPECT_DOUBLE_EQ(c[2], 8.0);
+    EXPECT_DOUBLE_EQ(c[3], 15.0);
+}
+
+TEST(SpmmEngine, FunctionallyCorrectChason)
+{
+    Rng rng(1);
+    const sparse::CsrMatrix a = sparse::zipfRows(96, 300, 1500, 1.3, rng);
+    const std::vector<float> b = denseB(a.cols(), 12, 2);
+
+    SpmmEngine engine(Engine::Kind::Chason, SpmmConfig{}, smallArch());
+    std::vector<float> c;
+    const SpmmReport report = engine.run(a, b, 12, &c);
+
+    EXPECT_LE(report.functionalError, 1.0);
+    ASSERT_EQ(c.size(), static_cast<std::size_t>(a.rows()) * 12);
+    const std::vector<double> ref = spmmReference(a, b, 12);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], ref[i], 1e-3 * std::abs(ref[i]) + 1e-4);
+}
+
+TEST(SpmmEngine, FunctionallyCorrectSerpens)
+{
+    Rng rng(3);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(80, 200, 1200, rng);
+    const std::vector<float> b = denseB(a.cols(), 6, 4);
+    SpmmEngine engine(Engine::Kind::Serpens, SpmmConfig{}, smallArch());
+    const SpmmReport report = engine.run(a, b, 6);
+    EXPECT_LE(report.functionalError, 1.0);
+    EXPECT_EQ(report.accelerator, "serpens");
+}
+
+TEST(SpmmEngine, TileCountAndThroughputScaling)
+{
+    Rng rng(5);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 128, 800, rng);
+    SpmmEngine engine(Engine::Kind::Chason, SpmmConfig{}, smallArch());
+
+    const SpmmReport r8 = engine.run(a, denseB(a.cols(), 8, 6), 8);
+    const SpmmReport r32 = engine.run(a, denseB(a.cols(), 32, 7), 32);
+    EXPECT_EQ(r8.tiles, 1u);
+    EXPECT_EQ(r32.tiles, 4u);
+    // 4x the work at ~4x the time: throughput roughly flat or better.
+    EXPECT_GT(r32.gflops, 0.7 * r8.gflops);
+    EXPECT_GT(r32.latencyMs, r8.latencyMs);
+}
+
+TEST(SpmmEngine, ChasonBeatsSerpensOnImbalance)
+{
+    Rng rng(8);
+    const sparse::CsrMatrix a = sparse::arrowBanded(96, 4, 0.3, 2, rng);
+    const std::vector<float> b = denseB(a.cols(), 8, 9);
+    const SpmmReport c =
+        SpmmEngine(Engine::Kind::Chason, SpmmConfig{}, smallArch())
+            .run(a, b, 8);
+    const SpmmReport s =
+        SpmmEngine(Engine::Kind::Serpens, SpmmConfig{}, smallArch())
+            .run(a, b, 8);
+    EXPECT_LT(c.latencyMs, s.latencyMs);
+    EXPECT_LT(c.underutilizationPercent, s.underutilizationPercent);
+}
+
+TEST(SpmmEngine, Equation8AlphaBeta)
+{
+    // C = alpha*A*B + beta*C_in (Eq. 8).
+    Rng rng(11);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(48, 96, 500, rng);
+    const std::vector<float> b = denseB(a.cols(), 4, 12);
+    const std::vector<float> c_in = denseB(a.rows(), 4, 13);
+    SpmmEngine engine(Engine::Kind::Chason, SpmmConfig{}, smallArch());
+
+    std::vector<float> plain, blended;
+    engine.run(a, b, 4, &plain);
+    const SpmmReport r =
+        engine.run(a, b, 4, &blended, 2.0f, -0.5f, &c_in);
+    EXPECT_LE(r.functionalError, 1.0);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_NEAR(blended[i], 2.0f * plain[i] - 0.5f * c_in[i], 1e-3);
+}
+
+TEST(SpmmEngineDeath, BetaWithoutCinPanics)
+{
+    Rng rng(14);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(32, 64, 200, rng);
+    const std::vector<float> b = denseB(a.cols(), 4, 15);
+    SpmmEngine engine(Engine::Kind::Chason, SpmmConfig{}, smallArch());
+    EXPECT_DEATH(engine.run(a, b, 4, nullptr, 1.0f, 0.5f, nullptr),
+                 "C_in");
+}
+
+TEST(SpmmEngine, PaperChannelAllocation)
+{
+    const SpmmConfig cfg;
+    EXPECT_EQ(cfg.aChannels, 8u);
+    EXPECT_EQ(cfg.bChannels, 4u);
+    EXPECT_EQ(cfg.cChannels, 8u);
+    // 8 + 4 + 8 + descriptor = 21 here; the paper counts 29 by writing
+    // C through dedicated read+write ports — either way it fits 32.
+    EXPECT_LE(cfg.usedChannels(), 32u);
+}
+
+TEST(SpmmEngineDeath, SizeMismatchPanics)
+{
+    Rng rng(10);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(32, 64, 200, rng);
+    SpmmEngine engine(Engine::Kind::Chason, SpmmConfig{}, smallArch());
+    const std::vector<float> bad(10, 1.0f);
+    EXPECT_DEATH(engine.run(a, bad, 4), "entries");
+}
+
+} // namespace
+} // namespace core
+} // namespace chason

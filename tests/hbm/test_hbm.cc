@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the HBM device model.
+ */
+
+#include "hbm/hbm.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace hbm {
+namespace {
+
+TEST(HbmConfig, U55cPreset)
+{
+    const HbmConfig cfg = HbmConfig::alveoU55c();
+    EXPECT_EQ(cfg.totalChannels, 32u);
+    EXPECT_EQ(cfg.channelBits, 512u);
+    EXPECT_EQ(cfg.bytesPerBeat(), 64u);
+    EXPECT_NEAR(cfg.peakBandwidthGBps(), 460.0, 1.0);
+}
+
+TEST(HbmConfig, U280Preset)
+{
+    const HbmConfig cfg = HbmConfig::alveoU280();
+    EXPECT_NEAR(cfg.peakBandwidthGBps(), 273.0, 1.0);
+}
+
+TEST(ChannelCounter, Accounting)
+{
+    ChannelCounter c;
+    c.recordBeats(Direction::Read, 10, 64);
+    c.recordBeats(Direction::Write, 3, 64);
+    EXPECT_EQ(c.readBeats(), 10u);
+    EXPECT_EQ(c.writeBeats(), 3u);
+    EXPECT_EQ(c.readBytes(), 640u);
+    EXPECT_EQ(c.writeBytes(), 192u);
+    EXPECT_EQ(c.totalBytes(), 832u);
+    c.reset();
+    EXPECT_EQ(c.totalBytes(), 0u);
+}
+
+TEST(HbmDevice, PerChannelTotals)
+{
+    HbmDevice dev(HbmConfig::alveoU55c());
+    dev.recordBeats(0, Direction::Read, 100);
+    dev.recordBeats(5, Direction::Write, 50);
+    EXPECT_EQ(dev.channel(0).readBeats(), 100u);
+    EXPECT_EQ(dev.channel(5).writeBeats(), 50u);
+    EXPECT_EQ(dev.totalBeats(), 150u);
+    EXPECT_EQ(dev.totalBytes(), 150u * 64);
+    dev.reset();
+    EXPECT_EQ(dev.totalBytes(), 0u);
+}
+
+TEST(HbmDevice, ChannelBoundsChecked)
+{
+    HbmDevice dev(HbmConfig::alveoU55c());
+    EXPECT_DEATH(dev.recordBeats(32, Direction::Read, 1), "out of range");
+    EXPECT_DEATH(dev.channel(99), "out of range");
+}
+
+TEST(HbmDevice, AchievedBandwidth)
+{
+    HbmDevice dev(HbmConfig::alveoU55c());
+    // 1e6 beats on one channel at 250 MHz: 64 MB in 4 ms = 16 GB/s.
+    dev.recordBeats(0, Direction::Read, 1000000);
+    EXPECT_NEAR(dev.achievedBandwidthGBps(1000000, 250.0), 16.0, 0.01);
+    EXPECT_DOUBLE_EQ(dev.achievedBandwidthGBps(0, 250.0), 0.0);
+}
+
+TEST(MinCycles, BeatRateLimited)
+{
+    const HbmConfig cfg = HbmConfig::alveoU55c();
+    // At 200 MHz one channel moves 12.8 GB/s < 14.37: beat limited.
+    // 64 MB over one channel: 1e6 beats = 1e6 cycles.
+    EXPECT_EQ(minCyclesForBytes(cfg, 1, 64000000, 200.0), 1000000u);
+}
+
+TEST(MinCycles, BandwidthLimited)
+{
+    const HbmConfig cfg = HbmConfig::alveoU55c();
+    // At 301 MHz a channel wants 19.26 GB/s but gets 14.37: more cycles
+    // than beats.
+    const std::uint64_t beats = 1000000;
+    const std::uint64_t cycles =
+        minCyclesForBytes(cfg, 1, beats * 64, 301.0);
+    EXPECT_GT(cycles, beats);
+    EXPECT_NEAR(static_cast<double>(cycles) / beats, 19.264 / 14.37,
+                0.01);
+}
+
+TEST(MinCycles, ScalesWithChannels)
+{
+    const HbmConfig cfg = HbmConfig::alveoU55c();
+    const std::uint64_t one = minCyclesForBytes(cfg, 1, 1 << 26, 200.0);
+    const std::uint64_t sixteen =
+        minCyclesForBytes(cfg, 16, 1 << 26, 200.0);
+    EXPECT_NEAR(static_cast<double>(one) / sixteen, 16.0, 0.1);
+}
+
+} // namespace
+} // namespace hbm
+} // namespace chason

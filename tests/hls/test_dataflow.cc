@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the TAPA-stub runtime and the Fig. 6 dataflow kernel.
+ */
+
+#include "hls/spmv_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "arch/chason_accel.h"
+#include "common/rng.h"
+#include "hls/tapa_stub.h"
+#include "sched/crhcs.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace hls {
+namespace {
+
+TEST(Stream, FifoOrderAndClose)
+{
+    Stream<int> s(4);
+    s.write(1);
+    s.write(2);
+    s.close();
+    EXPECT_EQ(s.read(), 1);
+    EXPECT_EQ(s.read(), 2);
+    EXPECT_EQ(s.read(), std::nullopt);
+    EXPECT_EQ(s.read(), std::nullopt); // stays drained
+}
+
+TEST(Stream, BackpressureBlocksProducer)
+{
+    Stream<int> s(1);
+    std::atomic<int> produced{0};
+    TaskGroup tasks;
+    tasks.invoke([&s, &produced] {
+        for (int i = 0; i < 100; ++i) {
+            s.write(i);
+            produced.fetch_add(1);
+        }
+        s.close();
+    });
+    int expected = 0;
+    while (auto v = s.read()) {
+        EXPECT_EQ(*v, expected);
+        ++expected;
+    }
+    tasks.join();
+    EXPECT_EQ(expected, 100);
+    EXPECT_EQ(produced.load(), 100);
+}
+
+TEST(StreamDeath, WriteAfterClosePanics)
+{
+    Stream<int> s(2);
+    s.close();
+    EXPECT_DEATH(s.write(1), "closed");
+}
+
+TEST(TaskGroup, JoinWaitsForAll)
+{
+    std::atomic<int> done{0};
+    {
+        TaskGroup tasks;
+        for (int i = 0; i < 8; ++i)
+            tasks.invoke([&done] { done.fetch_add(1); });
+        tasks.join();
+        EXPECT_EQ(done.load(), 8);
+    }
+}
+
+struct DataflowCase
+{
+    std::string name;
+    std::uint64_t seed;
+    std::function<sparse::CsrMatrix(Rng &)> make;
+};
+
+std::vector<DataflowCase>
+cases()
+{
+    return {
+        {"erdos", 1,
+         [](Rng &r) { return sparse::erdosRenyi(400, 700, 5000, r); }},
+        {"zipf", 2,
+         [](Rng &r) { return sparse::zipfRows(300, 300, 4000, 1.3, r); }},
+        {"arrow", 3,
+         [](Rng &r) { return sparse::arrowBanded(500, 5, 0.3, 3, r); }},
+        {"multiwindow", 4,
+         [](Rng &r) { return sparse::erdosRenyi(200, 20000, 8000, r); }},
+        {"multipass", 5,
+         [](Rng &r) { return sparse::erdosRenyi(600000, 64, 30000, r); }},
+        {"mycielskian", 6, [](Rng &) { return sparse::mycielskian(7); }},
+    };
+}
+
+class DataflowEquivalence
+    : public ::testing::TestWithParam<DataflowCase>
+{
+};
+
+TEST_P(DataflowEquivalence, BitExactAgainstBeatSimulator)
+{
+    Rng rng(GetParam().seed);
+    const sparse::CsrMatrix a = GetParam().make(rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+
+    const arch::ArchConfig cfg;
+    const sched::Schedule sch =
+        sched::CrhcsScheduler(cfg.sched).schedule(a);
+
+    const arch::RunResult simulated =
+        arch::ChasonAccelerator(cfg).run(sch, x);
+    const std::vector<float> dataflow = runDataflowSpmv(sch, x);
+
+    ASSERT_EQ(dataflow.size(), simulated.y.size());
+    for (std::size_t i = 0; i < dataflow.size(); ++i) {
+        ASSERT_EQ(dataflow[i], simulated.y[i])
+            << "row " << i << " of " << GetParam().name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DataflowEquivalence, ::testing::ValuesIn(cases()),
+    [](const auto &info) { return info.param.name; });
+
+TEST(Dataflow, EmptyScheduleGivesZeros)
+{
+    sparse::CooMatrix coo(32, 32);
+    const sched::Schedule sch =
+        sched::CrhcsScheduler(sched::SchedConfig{}).schedule(coo.toCsr());
+    const std::vector<float> x(32, 1.0f);
+    for (float v : runDataflowSpmv(sch, x))
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(DataflowDeath, RejectsDeepMigration)
+{
+    Rng rng(9);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(64, 64, 400, rng);
+    sched::SchedConfig cfg;
+    cfg.migrationDepth = 2;
+    const sched::Schedule sch = sched::CrhcsScheduler(cfg).schedule(a);
+    const std::vector<float> x(64, 1.0f);
+    EXPECT_DEATH(runDataflowSpmv(sch, x), "depth-1");
+}
+
+} // namespace
+} // namespace hls
+} // namespace chason

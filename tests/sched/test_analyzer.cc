@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the schedule analyzer (Eq. 4 and traffic accounting).
+ */
+
+#include "sched/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/pe_aware.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+SchedConfig
+cfg2x2()
+{
+    SchedConfig cfg;
+    cfg.channels = 2;
+    cfg.pesOverride = 2;
+    cfg.rawDistance = 2;
+    cfg.windowCols = 64;
+    cfg.rowsPerLanePerPass = 64;
+    cfg.migrationDepth = 0;
+    return cfg;
+}
+
+/** Hand-build a schedule: ch0 has 3 valid slots in 2 beats, ch1 empty. */
+Schedule
+handSchedule()
+{
+    SchedConfig cfg = cfg2x2();
+    Schedule sch;
+    sch.config = cfg;
+    sch.scheduler = "hand";
+    sch.rows = 4;
+    sch.cols = 4;
+    sch.nnz = 3;
+
+    WindowSchedule ws;
+    ws.channels.resize(2);
+    ws.channels[0].beats.resize(2);
+    auto set = [](Slot &slot, std::uint32_t row, std::uint32_t col) {
+        slot.valid = true;
+        slot.row = row;
+        slot.col = col;
+        slot.value = 1.0f;
+        slot.pvt = true;
+    };
+    set(ws.channels[0].beats[0].slots[0], 0, 0);
+    set(ws.channels[0].beats[0].slots[1], 1, 0);
+    set(ws.channels[0].beats[1].slots[0], 0, 2);
+    ws.channels[0].beats[1].slots[0].peSrc = 0;
+    ws.channels[0].beats[0].slots[1].peSrc = 1;
+    ws.realign();
+    sch.phases.push_back(ws);
+    return sch;
+}
+
+TEST(Analyze, Equation4)
+{
+    const ScheduleStats stats = analyze(handSchedule());
+    // 2 aligned beats x 2 channels x 2 PEs = 8 slots, 3 valid.
+    EXPECT_EQ(stats.totalSlots, 8u);
+    EXPECT_EQ(stats.nnz, 3u);
+    EXPECT_EQ(stats.stalls, 5u);
+    EXPECT_NEAR(stats.underutilizationPercent, 100.0 * 5 / 8, 1e-9);
+}
+
+TEST(Analyze, PerPegBreakdown)
+{
+    const ScheduleStats stats = analyze(handSchedule());
+    ASSERT_EQ(stats.perPegUnderutilization.size(), 2u);
+    EXPECT_NEAR(stats.perPegUnderutilization[0], 25.0, 1e-9);
+    EXPECT_NEAR(stats.perPegUnderutilization[1], 100.0, 1e-9);
+    EXPECT_NEAR(stats.meanPegUnderutilization(), 62.5, 1e-9);
+    EXPECT_NEAR(stats.pegUnderutilizationSpread(), 75.0, 1e-9);
+}
+
+TEST(Analyze, TrafficCounts)
+{
+    const ScheduleStats stats = analyze(handSchedule());
+    EXPECT_EQ(stats.streamBeatsPerChannel, 2u);
+    EXPECT_EQ(stats.matrixBeats, 4u); // 2 beats x 2 channels
+    EXPECT_EQ(stats.matrixBytes, 4u * 64);
+    EXPECT_EQ(stats.phases, 1u);
+}
+
+TEST(Analyze, EmptySchedule)
+{
+    Schedule sch;
+    sch.config = cfg2x2();
+    const ScheduleStats stats = analyze(sch);
+    EXPECT_EQ(stats.totalSlots, 0u);
+    EXPECT_EQ(stats.underutilizationPercent, 0.0);
+}
+
+TEST(Validate, AcceptsRealSchedules)
+{
+    SchedConfig cfg = cfg2x2();
+    Rng rng(1);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(30, 60, 300, rng);
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    validateSchedule(sch, a);
+    SUCCEED();
+}
+
+TEST(ValidateDeath, CatchesMissingElements)
+{
+    SchedConfig cfg = cfg2x2();
+    sparse::CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 2, 1.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // Drop one element.
+    sch.phases[0].channels[0].beats.back().slots[0].valid = false;
+    EXPECT_DEATH(validateSchedule(sch, a), "covers");
+}
+
+TEST(ValidateDeath, CatchesWrongLane)
+{
+    SchedConfig cfg = cfg2x2();
+    sparse::CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // Claim the element belongs to another PE.
+    sch.phases[0].channels[0].beats[0].slots[0].peSrc = 1;
+    EXPECT_DEATH(validateSchedule(sch, a), "lane");
+}
+
+TEST(ValidateDeath, CatchesRawViolation)
+{
+    SchedConfig cfg = cfg2x2();
+    sparse::CooMatrix coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 1, 2.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // Squeeze the second element right after the first (distance 1 < 2).
+    ASSERT_GE(sch.phases[0].channels[0].beats.size(), 3u);
+    Slot moved = sch.phases[0].channels[0].beats[2].slots[0];
+    ASSERT_TRUE(moved.valid);
+    sch.phases[0].channels[0].beats[2].slots[0] = Slot();
+    sch.phases[0].channels[0].beats[1].slots[0] = moved;
+    EXPECT_DEATH(validateSchedule(sch, a), "RAW");
+}
+
+TEST(ValidateDeath, CatchesValueTampering)
+{
+    SchedConfig cfg = cfg2x2();
+    sparse::CooMatrix coo(4, 4);
+    coo.add(1, 1, 5.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    sch.phases[0].channels[0].beats[0].slots[1].value = 6.0f;
+    EXPECT_DEATH(validateSchedule(sch, a), "value mismatch");
+}
+
+} // namespace
+} // namespace sched
+} // namespace chason

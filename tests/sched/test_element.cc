@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the 64-bit sparse element encoding (Section 3.2).
+ */
+
+#include "sched/element.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+TEST(ElementLayout, FieldsPartitionTheWord)
+{
+    EXPECT_EQ(ElementLayout::kColBits + ElementLayout::kPeSrcBits +
+                  ElementLayout::kPvtBits + ElementLayout::kRowBits +
+                  ElementLayout::kValueBits,
+              64u);
+    EXPECT_EQ(ElementLayout::kColLsb, 0u);
+    EXPECT_EQ(ElementLayout::kValueLsb + ElementLayout::kValueBits, 64u);
+}
+
+TEST(ElementLayout, PaperFieldWidths)
+{
+    // Section 3.2: 32-bit value, 15-bit row, 1-bit pvt, 3-bit PE_src,
+    // 13-bit column.
+    EXPECT_EQ(ElementLayout::kValueBits, 32u);
+    EXPECT_EQ(ElementLayout::kRowBits, 15u);
+    EXPECT_EQ(ElementLayout::kPvtBits, 1u);
+    EXPECT_EQ(ElementLayout::kPeSrcBits, 3u);
+    EXPECT_EQ(ElementLayout::kColBits, 13u);
+    EXPECT_EQ(ElementLayout::maxLocalRow(), 32767u);
+    EXPECT_EQ(ElementLayout::maxLocalCol(), 8191u);
+    EXPECT_EQ(ElementLayout::maxPeSrc(), 7u);
+}
+
+TEST(EncodedElement, RoundTripExtremes)
+{
+    const DecodedElement cases[] = {
+        {1.0f, 0, 0, true, 0},
+        {-3.5f, 32767, 8191, false, 7},
+        {0.25f, 12345, 4096, false, 3},
+        {1e-20f, 1, 1, true, 0},
+    };
+    for (const DecodedElement &e : cases) {
+        const EncodedElement packed = EncodedElement::pack(e);
+        EXPECT_EQ(packed.unpack(), e);
+    }
+}
+
+TEST(EncodedElement, RandomRoundTrip)
+{
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        DecodedElement e;
+        e.value = rng.nextFloat(-100.0f, 100.0f);
+        e.localRow = static_cast<std::uint32_t>(rng.nextBounded(32768));
+        e.localCol = static_cast<std::uint32_t>(rng.nextBounded(8192));
+        e.pvt = rng.nextBool(0.5);
+        e.peSrc = static_cast<unsigned>(rng.nextBounded(8));
+        EXPECT_EQ(EncodedElement::pack(e).unpack(), e);
+    }
+}
+
+TEST(EncodedElement, StallMarker)
+{
+    EXPECT_TRUE(EncodedElement().isStall());
+    EXPECT_TRUE(EncodedElement(0).isStall());
+    DecodedElement e;
+    e.value = 1.0f;
+    e.pvt = true;
+    EXPECT_FALSE(EncodedElement::pack(e).isStall());
+}
+
+TEST(EncodedElement, PvtBitAloneDistinguishesZeroValue)
+{
+    // A private element with value 0 and all-zero indices must not be
+    // confused with the stall marker (the pvt bit is set).
+    DecodedElement e;
+    e.value = 0.0f;
+    e.pvt = true;
+    EXPECT_FALSE(EncodedElement::pack(e).isStall());
+}
+
+TEST(EncodedElementDeath, OverflowChecks)
+{
+    DecodedElement e;
+    e.localRow = 32768;
+    EXPECT_DEATH(EncodedElement::pack(e), "row");
+    e.localRow = 0;
+    e.localCol = 8192;
+    EXPECT_DEATH(EncodedElement::pack(e), "col");
+    e.localCol = 0;
+    e.peSrc = 8;
+    EXPECT_DEATH(EncodedElement::pack(e), "PE_src");
+}
+
+TEST(EncodedElement, EightPerBeatAtFp32)
+{
+    // 512-bit beat / 64-bit element = 8 elements (Section 3.2).
+    EXPECT_EQ(512 / 64, 8);
+}
+
+} // namespace
+} // namespace sched
+} // namespace chason

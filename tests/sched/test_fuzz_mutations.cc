@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Mutation testing of the schedule validator: every class of corruption
+ * a buggy scheduler (or a bit flip in the artifact path) could
+ * introduce must be caught by validateSchedule. This is the safety net
+ * under all the scheduler properties — if the validator were blind to a
+ * defect class, the green property suite would prove nothing about it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/analyzer.h"
+#include "sched/crhcs.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+SchedConfig
+cfg()
+{
+    SchedConfig c;
+    c.channels = 4;
+    c.pesOverride = 4;
+    c.rawDistance = 4;
+    c.windowCols = 256;
+    c.rowsPerLanePerPass = 64;
+    c.migrationDepth = 1;
+    return c;
+}
+
+struct Prepared
+{
+    sparse::CsrMatrix a;
+    Schedule sch;
+};
+
+Prepared
+prepare(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Prepared p;
+    p.a = sparse::zipfRows(96, 512, 3000, 1.25, rng);
+    p.sch = CrhcsScheduler(cfg()).schedule(p.a);
+    return p;
+}
+
+/** Collect the (phase, channel, beat, pe) of every valid slot. */
+std::vector<std::array<std::size_t, 4>>
+validSlots(const Schedule &sch)
+{
+    std::vector<std::array<std::size_t, 4>> out;
+    for (std::size_t ph = 0; ph < sch.phases.size(); ++ph) {
+        const auto &phase = sch.phases[ph];
+        for (std::size_t ch = 0; ch < phase.channels.size(); ++ch) {
+            const auto &beats = phase.channels[ch].beats;
+            for (std::size_t t = 0; t < beats.size(); ++t) {
+                for (std::size_t p = 0; p < 4; ++p) {
+                    if (beats[t].slots[p].valid)
+                        out.push_back({ph, ch, t, p});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Slot &
+slotAt(Schedule &sch, const std::array<std::size_t, 4> &where)
+{
+    return sch.phases[where[0]]
+        .channels[where[1]]
+        .beats[where[2]]
+        .slots[where[3]];
+}
+
+class MutationFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MutationFuzz, DropIsCaught)
+{
+    Prepared p = prepare(100 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    slotAt(p.sch, slots[rng.nextBounded(slots.size())]) = Slot();
+    EXPECT_DEATH(validateSchedule(p.sch, p.a), "covers");
+}
+
+TEST_P(MutationFuzz, DuplicateIsCaught)
+{
+    Prepared p = prepare(200 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    // Copy a valid slot over a stall slot somewhere in the same phase
+    // and channel (keeps lane/window residency plausible).
+    const auto src = slots[rng.nextBounded(slots.size())];
+    auto &beats = p.sch.phases[src[0]].channels[src[1]].beats;
+    for (auto &beat : beats) {
+        Slot &candidate = beat.slots[src[3]];
+        if (!candidate.valid) {
+            candidate = slotAt(p.sch, src);
+            EXPECT_DEATH(validateSchedule(p.sch, p.a),
+                         "duplicated|RAW");
+            return;
+        }
+    }
+    GTEST_SKIP() << "no stall slot available for duplication";
+}
+
+TEST_P(MutationFuzz, ValueTamperIsCaught)
+{
+    Prepared p = prepare(300 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    Slot &slot = slotAt(p.sch, slots[rng.nextBounded(slots.size())]);
+    slot.value += 0.125f;
+    EXPECT_DEATH(validateSchedule(p.sch, p.a), "value mismatch");
+}
+
+TEST_P(MutationFuzz, LaneRetagIsCaught)
+{
+    Prepared p = prepare(400 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    Slot &slot = slotAt(p.sch, slots[rng.nextBounded(slots.size())]);
+    slot.peSrc = static_cast<std::uint8_t>((slot.peSrc + 1) % 4);
+    EXPECT_DEATH(validateSchedule(p.sch, p.a), "lane");
+}
+
+TEST_P(MutationFuzz, ColumnCorruptionIsCaught)
+{
+    Prepared p = prepare(500 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    const auto where = slots[rng.nextBounded(slots.size())];
+    Slot &slot = slotAt(p.sch, where);
+    // Push the column outside the slot's phase window.
+    slot.col = (p.sch.phases[where[0]].window + 1) * cfg().windowCols +
+        1000;
+    EXPECT_DEATH(validateSchedule(p.sch, p.a), "window|unexpected");
+}
+
+TEST_P(MutationFuzz, PvtFlagFlipIsCaught)
+{
+    Prepared p = prepare(600 + GetParam());
+    const auto slots = validSlots(p.sch);
+    Rng rng(GetParam());
+    Slot &slot = slotAt(p.sch, slots[rng.nextBounded(slots.size())]);
+    slot.pvt = !slot.pvt;
+    // Either the pvt tag no longer matches the streaming channel, or a
+    // "migrated" element claims an illegal source distance.
+    EXPECT_DEATH(validateSchedule(p.sch, p.a), "pvt|depth|lane");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace sched
+} // namespace chason

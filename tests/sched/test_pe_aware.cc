@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the PE-aware (Serpens) scheduler (Fig. 2b).
+ */
+
+#include "sched/pe_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/analyzer.h"
+#include "sched/row_based.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+SchedConfig
+smallConfig()
+{
+    SchedConfig cfg;
+    cfg.channels = 2;
+    cfg.pesOverride = 4;
+    cfg.rawDistance = 4;
+    cfg.windowCols = 256;
+    cfg.rowsPerLanePerPass = 256;
+    cfg.migrationDepth = 0;
+    return cfg;
+}
+
+TEST(PeAware, Name)
+{
+    EXPECT_EQ(PeAwareScheduler(smallConfig()).name(), "pe-aware");
+}
+
+TEST(PeAware, InterleavesRowsToHideLatency)
+{
+    // Two rows on the same lane, both with 4 elements: round-robin
+    // interleaving needs no stalls once rawDistance <= row count * 1.
+    SchedConfig cfg = smallConfig();
+    cfg.rawDistance = 2;
+    sparse::CooMatrix coo(16, 16);
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        coo.add(0, c, 1.0f);  // lane (0,0)
+        coo.add(8, c, 2.0f);  // lane (0,0) as well (8 % 8)
+    }
+    const sparse::CsrMatrix a = coo.toCsr();
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // 8 elements on one lane, perfectly interleaved: exactly 8 beats.
+    EXPECT_EQ(sch.phases[0].channels[0].length(), 8u);
+    validateSchedule(sch, a);
+}
+
+TEST(PeAware, InsertsExplicitStallsWhenRowsExhaust)
+{
+    // One row with 3 elements on a lane: the tail serializes.
+    SchedConfig cfg = smallConfig();
+    sparse::CooMatrix coo(8, 16);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 1, 2.0f);
+    coo.add(0, 2, 3.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // Elements at beats 0, 4, 8 -> 9 beats, 6 stall beats on the lane.
+    EXPECT_EQ(sch.phases[0].channels[0].length(), 9u);
+    const ScheduleStats stats = analyze(sch);
+    EXPECT_EQ(stats.nnz, 3u);
+    EXPECT_GT(stats.stalls, 0u);
+    validateSchedule(sch, a);
+}
+
+TEST(PeAware, NeverBeatsRawDistanceOnARow)
+{
+    SchedConfig cfg = smallConfig();
+    Rng rng(3);
+    const sparse::CsrMatrix a =
+        sparse::zipfRows(64, 200, 1500, 1.3, rng);
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    validateSchedule(sch, a); // includes the RAW check on every bank
+}
+
+TEST(PeAware, CoversEveryNonZeroExactlyOnce)
+{
+    SchedConfig cfg = smallConfig();
+    Rng rng(4);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(100, 500, 3000, rng);
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    const ScheduleStats stats = analyze(sch);
+    EXPECT_EQ(stats.nnz, a.nnz());
+    validateSchedule(sch, a);
+}
+
+TEST(PeAware, NoWorseThanRowBased)
+{
+    SchedConfig cfg = smallConfig();
+    Rng rng(5);
+    const sparse::CsrMatrix a = sparse::banded(128, 6, 0.5, rng);
+    const Schedule pe = PeAwareScheduler(cfg).schedule(a);
+    const Schedule row = RowBasedScheduler(cfg).schedule(a);
+    EXPECT_LE(analyze(pe).underutilizationPercent,
+              analyze(row).underutilizationPercent);
+    EXPECT_LE(pe.totalAlignedBeats(), row.totalAlignedBeats());
+}
+
+TEST(PeAware, ChannelsAlignedToLongest)
+{
+    SchedConfig cfg = smallConfig();
+    // Put all the work on channel 0 (rows with lane < 4).
+    sparse::CooMatrix coo(8, 64);
+    for (std::uint32_t c = 0; c < 32; ++c)
+        coo.add(0, c, 1.0f);
+    coo.add(4, 0, 1.0f); // channel 1 has a single element
+    const sparse::CsrMatrix a = coo.toCsr();
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    const WindowSchedule &ws = sch.phases[0];
+    EXPECT_GT(ws.channels[0].length(), ws.channels[1].length());
+    EXPECT_EQ(ws.alignedBeats, ws.channels[0].length());
+    // Eq. 4 counts channel 1's padding as stalls.
+    const ScheduleStats stats = analyze(sch);
+    EXPECT_GT(stats.perPegUnderutilization[1],
+              stats.perPegUnderutilization[0]);
+}
+
+TEST(PeAware, PurePaddingDominatedByLongRow)
+{
+    // A single dense row makes its lane serialize at rawDistance; this
+    // is the Section 2.2 pathology CrHCS later fixes.
+    SchedConfig cfg = smallConfig();
+    sparse::CooMatrix coo(8, 256);
+    for (std::uint32_t c = 0; c < 64; ++c)
+        coo.add(0, c, 1.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    // 64 elements, 4 apart: 253 beats.
+    EXPECT_EQ(sch.phases[0].alignedBeats,
+              63u * cfg.rawDistance + 1u);
+    EXPECT_GT(analyze(sch).underutilizationPercent, 90.0);
+}
+
+TEST(PeAware, WindowingSplitsLongRows)
+{
+    SchedConfig cfg = smallConfig();
+    cfg.windowCols = 32;
+    sparse::CooMatrix coo(8, 256);
+    for (std::uint32_t c = 0; c < 64; ++c)
+        coo.add(0, c, 1.0f);
+    const sparse::CsrMatrix a = coo.toCsr();
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+    EXPECT_EQ(sch.phases.size(), 2u); // 64 columns over 32-wide windows
+    validateSchedule(sch, a);
+}
+
+} // namespace
+} // namespace sched
+} // namespace chason

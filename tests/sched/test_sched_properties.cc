@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Property-based tests: scheduler invariants over a randomized sweep of
+ * matrix families and configurations (parameterized gtest).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/analyzer.h"
+#include "sched/crhcs.h"
+#include "sched/pe_aware.h"
+#include "sched/row_based.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+struct PropertyCase
+{
+    std::string name;
+    unsigned channels;
+    unsigned pes;
+    unsigned raw_distance;
+    std::uint32_t window_cols;
+    std::uint64_t seed;
+    std::function<sparse::CsrMatrix(Rng &)> make;
+};
+
+std::vector<PropertyCase>
+cases()
+{
+    std::vector<PropertyCase> out;
+    auto add = [&out](std::string name, unsigned ch, unsigned pes,
+                      unsigned d, std::uint32_t w, std::uint64_t seed,
+                      std::function<sparse::CsrMatrix(Rng &)> make) {
+        out.push_back({std::move(name), ch, pes, d, w, seed,
+                       std::move(make)});
+    };
+
+    add("er_small", 4, 4, 4, 128, 1, [](Rng &rng) {
+        return sparse::erdosRenyi(100, 300, 1500, rng);
+    });
+    add("er_paper_geometry", 16, 8, 10, 8192, 2, [](Rng &rng) {
+        return sparse::erdosRenyi(2000, 2000, 20000, rng);
+    });
+    add("zipf_mild", 8, 4, 6, 512, 3, [](Rng &rng) {
+        return sparse::zipfRows(512, 1024, 8000, 1.2, rng);
+    });
+    add("zipf_heavy", 8, 4, 6, 512, 4, [](Rng &rng) {
+        return sparse::zipfRows(512, 1024, 8000, 1.7, rng);
+    });
+    add("banded", 4, 8, 10, 256, 5, [](Rng &rng) {
+        return sparse::banded(700, 12, 0.4, rng);
+    });
+    add("arrow", 8, 8, 10, 2048, 6, [](Rng &rng) {
+        return sparse::arrowBanded(1024, 8, 0.3, 3, rng);
+    });
+    add("rmat", 16, 8, 10, 1024, 7, [](Rng &rng) {
+        return sparse::rmat(10, 12000, rng);
+    });
+    add("pa_graph", 16, 8, 10, 4096, 8, [](Rng &rng) {
+        return sparse::preferentialAttachment(3000, 6, rng);
+    });
+    add("poisson", 4, 4, 10, 512, 9, [](Rng &) {
+        return sparse::poisson2d(40);
+    });
+    add("block_diag", 8, 8, 8, 1024, 10, [](Rng &rng) {
+        return sparse::blockDiagonal(900, 30, 0.5, 0.05, rng);
+    });
+    add("tall_multi_pass", 4, 2, 3, 64, 11, [](Rng &rng) {
+        return sparse::erdosRenyi(4000, 100, 9000, rng);
+    });
+    add("wide_multi_window", 4, 4, 5, 128, 12, [](Rng &rng) {
+        return sparse::erdosRenyi(200, 3000, 9000, rng);
+    });
+    add("fp64_mode", 8, 5, 10, 1024, 13, [](Rng &rng) {
+        return sparse::erdosRenyi(800, 800, 8000, rng);
+    });
+    add("single_dense_row", 4, 4, 8, 1024, 14, [](Rng &rng) {
+        sparse::CooMatrix coo(64, 1024);
+        for (std::uint32_t c = 0; c < 300; ++c)
+            coo.add(5, c, rng.nextFloat(0.1f, 1.0f));
+        for (std::uint32_t r = 0; r < 64; ++r)
+            coo.add(r, r, 1.0f);
+        return coo.toCsr();
+    });
+    add("empty_rows", 4, 4, 6, 256, 15, [](Rng &rng) {
+        sparse::CooMatrix coo(256, 256);
+        for (std::uint32_t r = 0; r < 256; r += 16) {
+            for (unsigned k = 0; k < 5; ++k) {
+                coo.add(r, static_cast<std::uint32_t>(
+                               rng.nextBounded(256)),
+                        1.0f);
+            }
+        }
+        return coo.toCsr();
+    });
+    return out;
+}
+
+class SchedulerProperties
+    : public ::testing::TestWithParam<PropertyCase>
+{
+  protected:
+    SchedConfig
+    makeConfig(unsigned migration_depth) const
+    {
+        const PropertyCase &pc = GetParam();
+        SchedConfig cfg;
+        cfg.channels = pc.channels;
+        cfg.pesOverride = pc.pes;
+        cfg.rawDistance = pc.raw_distance;
+        cfg.windowCols = pc.window_cols;
+        cfg.rowsPerLanePerPass = 4096;
+        cfg.migrationDepth = migration_depth;
+        return cfg;
+    }
+
+    sparse::CsrMatrix
+    makeMatrix() const
+    {
+        Rng rng(GetParam().seed);
+        return GetParam().make(rng);
+    }
+};
+
+TEST_P(SchedulerProperties, PeAwareIsStructurallyValid)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule sch = PeAwareScheduler(makeConfig(0)).schedule(a);
+    validateSchedule(sch, a);
+    EXPECT_EQ(analyze(sch).nnz, a.nnz());
+}
+
+TEST_P(SchedulerProperties, CrhcsIsStructurallyValid)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule sch = CrhcsScheduler(makeConfig(1)).schedule(a);
+    validateSchedule(sch, a);
+    EXPECT_EQ(analyze(sch).nnz, a.nnz());
+}
+
+TEST_P(SchedulerProperties, RowBasedIsStructurallyValid)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule sch = RowBasedScheduler(makeConfig(0)).schedule(a);
+    validateSchedule(sch, a);
+}
+
+TEST_P(SchedulerProperties, CrhcsNeverWorseThanPeAware)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule pe = PeAwareScheduler(makeConfig(0)).schedule(a);
+    const Schedule cr = CrhcsScheduler(makeConfig(1)).schedule(a);
+    EXPECT_LE(cr.totalAlignedBeats(), pe.totalAlignedBeats());
+    EXPECT_LE(analyze(cr).underutilizationPercent,
+              analyze(pe).underutilizationPercent + 1e-9);
+}
+
+TEST_P(SchedulerProperties, PeAwareNeverWorseThanRowBased)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule row = RowBasedScheduler(makeConfig(0)).schedule(a);
+    const Schedule pe = PeAwareScheduler(makeConfig(0)).schedule(a);
+    EXPECT_LE(pe.totalAlignedBeats(), row.totalAlignedBeats());
+}
+
+TEST_P(SchedulerProperties, EveryMigrationDepthBoundedByPeAware)
+{
+    const PropertyCase &pc = GetParam();
+    if (pc.channels < 4)
+        GTEST_SKIP() << "needs at least 4 channels for depth sweep";
+    const sparse::CsrMatrix a = makeMatrix();
+    const std::size_t pe_beats = PeAwareScheduler(makeConfig(0))
+                                     .schedule(a)
+                                     .totalAlignedBeats();
+    for (unsigned depth : {1u, 2u, 3u}) {
+        const Schedule sch = CrhcsScheduler(makeConfig(depth)).schedule(a);
+        validateSchedule(sch, a);
+        EXPECT_LE(sch.totalAlignedBeats(), pe_beats)
+            << "depth " << depth;
+    }
+}
+
+TEST_P(SchedulerProperties, SchedulingIsDeterministic)
+{
+    const sparse::CsrMatrix a = makeMatrix();
+    const Schedule s1 = CrhcsScheduler(makeConfig(1)).schedule(a);
+    const Schedule s2 = CrhcsScheduler(makeConfig(1)).schedule(a);
+    ASSERT_EQ(s1.phases.size(), s2.phases.size());
+    EXPECT_EQ(s1.totalAlignedBeats(), s2.totalAlignedBeats());
+    EXPECT_EQ(analyze(s1).stalls, analyze(s2).stalls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SchedulerProperties, ::testing::ValuesIn(cases()),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace sched
+} // namespace chason

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the schedule containers, phase bucketing and the wire
+ * encoding round trip.
+ */
+
+#include "sched/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/pe_aware.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+SchedConfig
+tinyConfig()
+{
+    SchedConfig cfg;
+    cfg.channels = 4;
+    cfg.pesOverride = 2;
+    cfg.rawDistance = 3;
+    cfg.windowCols = 16;
+    cfg.rowsPerLanePerPass = 8;
+    cfg.migrationDepth = 1;
+    return cfg;
+}
+
+TEST(LaneMap, RoundTrip)
+{
+    SchedConfig cfg = tinyConfig();
+    const LaneMap map(cfg);
+    EXPECT_EQ(map.lanes(), 8u);
+    for (std::uint32_t row = 0; row < 100; ++row) {
+        const unsigned ch = map.channelOf(row);
+        const unsigned pe = map.peOf(row);
+        const std::uint32_t local = map.localRowOf(row);
+        EXPECT_LT(ch, cfg.channels);
+        EXPECT_LT(pe, cfg.pesPerGroup());
+        EXPECT_EQ(map.globalRowOf(ch, pe, local), row);
+    }
+}
+
+TEST(LaneMap, PaperEquationExample)
+{
+    // Eq. 1: PE_id = row % TotalPEs; Fig. 1 uses 4 PEs on one channel.
+    SchedConfig cfg;
+    cfg.channels = 1;
+    cfg.pesOverride = 4;
+    const LaneMap map(cfg);
+    EXPECT_EQ(map.peOf(0), 0u);
+    EXPECT_EQ(map.peOf(1), 1u);
+    EXPECT_EQ(map.peOf(4), 0u);
+    EXPECT_EQ(map.peOf(12), 0u);
+}
+
+TEST(SchedConfig, PrecisionSelectsPes)
+{
+    SchedConfig cfg;
+    EXPECT_EQ(cfg.pesPerGroup(), 8u);
+    cfg.precision = Precision::Fp64;
+    EXPECT_EQ(cfg.pesPerGroup(), 5u); // Section 5.5
+    cfg.pesOverride = 6;
+    EXPECT_EQ(cfg.pesPerGroup(), 6u);
+}
+
+TEST(SchedConfigDeath, ValidateCatchesBadGeometry)
+{
+    SchedConfig cfg;
+    cfg.channels = 0;
+    EXPECT_DEATH(cfg.validate(), "channel");
+    cfg = SchedConfig();
+    cfg.migrationDepth = 16;
+    EXPECT_DEATH(cfg.validate(), "migrationDepth");
+}
+
+TEST(Beat, ValidCount)
+{
+    Beat beat;
+    EXPECT_TRUE(beat.allStall(8));
+    beat.slots[0].valid = true;
+    beat.slots[7].valid = true;
+    EXPECT_EQ(beat.validCount(8), 2u);
+    EXPECT_EQ(beat.validCount(4), 1u); // only slot 0 within 4 PEs
+    EXPECT_FALSE(beat.allStall(8));
+}
+
+TEST(ChannelWindowSchedule, TrimTrailingStalls)
+{
+    ChannelWindowSchedule cws;
+    cws.beats.resize(5);
+    cws.beats[1].slots[0].valid = true;
+    cws.trimTrailingStalls(8);
+    EXPECT_EQ(cws.length(), 2u);
+    EXPECT_EQ(cws.validSlots(8), 1u);
+}
+
+TEST(WindowSchedule, Realign)
+{
+    WindowSchedule ws;
+    ws.channels.resize(3);
+    ws.channels[1].beats.resize(7);
+    ws.channels[2].beats.resize(4);
+    ws.realign();
+    EXPECT_EQ(ws.alignedBeats, 7u);
+}
+
+TEST(BuildPhaseWork, SplitsByWindowAndLane)
+{
+    SchedConfig cfg = tinyConfig(); // windows of 16 columns, 8 lanes
+    sparse::CooMatrix coo(10, 40);
+    coo.add(0, 0, 1.0f);   // window 0, lane 0
+    coo.add(0, 20, 2.0f);  // window 1, lane 0
+    coo.add(9, 39, 3.0f);  // window 2, lane 1 (9 % 8)
+    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    ASSERT_EQ(work.size(), 3u); // three non-empty windows
+    EXPECT_EQ(work[0].window, 0u);
+    EXPECT_EQ(work[0].nnz, 1u);
+    ASSERT_EQ(work[0].lanes[0].size(), 1u);
+    EXPECT_EQ(work[0].lanes[0][0].row, 0u);
+    EXPECT_EQ(work[2].window, 2u);
+    ASSERT_EQ(work[2].lanes[1].size(), 1u);
+    EXPECT_EQ(work[2].lanes[1][0].row, 9u);
+}
+
+TEST(BuildPhaseWork, EmptyWindowsOmitted)
+{
+    SchedConfig cfg = tinyConfig();
+    sparse::CooMatrix coo(4, 64); // 4 windows of 16
+    coo.add(1, 50, 1.0f);         // only window 3 has work
+    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    ASSERT_EQ(work.size(), 1u);
+    EXPECT_EQ(work[0].window, 3u);
+}
+
+TEST(BuildPhaseWork, MultiplePasses)
+{
+    SchedConfig cfg = tinyConfig(); // 8 lanes x 8 rows = 64 rows/pass
+    sparse::CooMatrix coo(130, 8);
+    coo.add(0, 0, 1.0f);   // pass 0
+    coo.add(70, 0, 1.0f);  // pass 1
+    coo.add(129, 0, 1.0f); // pass 2
+    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    ASSERT_EQ(work.size(), 3u);
+    EXPECT_EQ(work[0].pass, 0u);
+    EXPECT_EQ(work[1].pass, 1u);
+    EXPECT_EQ(work[2].pass, 2u);
+}
+
+TEST(BuildPhaseWork, RowSplitAcrossWindowsKeepsColumnOrder)
+{
+    SchedConfig cfg = tinyConfig();
+    sparse::CooMatrix coo(2, 48);
+    for (std::uint32_t c = 0; c < 48; c += 4)
+        coo.add(1, c, static_cast<float>(c));
+    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    ASSERT_EQ(work.size(), 3u);
+    for (const auto &pw : work) {
+        const auto &runs = pw.lanes[1];
+        ASSERT_EQ(runs.size(), 1u);
+        EXPECT_EQ(runs[0].elems.size(), 4u);
+    }
+}
+
+TEST(EncodeDecode, RoundTripOnRealSchedule)
+{
+    SchedConfig cfg;
+    cfg.channels = 16;
+    cfg.rawDistance = 10;
+    Rng rng(5);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(500, 500, 4000, rng);
+    const Schedule sch = PeAwareScheduler(cfg).schedule(a);
+
+    ASSERT_FALSE(sch.phases.empty());
+    for (std::size_t phase = 0; phase < sch.phases.size(); ++phase) {
+        for (unsigned ch = 0; ch < cfg.channels; ++ch) {
+            const auto words = encodeChannelStream(sch, phase, ch);
+            const ChannelWindowSchedule decoded = decodeChannelStream(
+                cfg, words, sch.phases[phase].pass,
+                sch.phases[phase].window, ch);
+            const ChannelWindowSchedule &orig =
+                sch.phases[phase].channels[ch];
+            ASSERT_EQ(decoded.length(), orig.length());
+            for (std::size_t t = 0; t < orig.length(); ++t) {
+                for (unsigned p = 0; p < cfg.pesPerGroup(); ++p) {
+                    const Slot &o = orig.beats[t].slots[p];
+                    const Slot &d = decoded.beats[t].slots[p];
+                    ASSERT_EQ(d.valid, o.valid);
+                    if (!o.valid)
+                        continue;
+                    EXPECT_EQ(d.row, o.row);
+                    EXPECT_EQ(d.col, o.col);
+                    EXPECT_EQ(d.value, o.value);
+                    EXPECT_EQ(d.pvt, o.pvt);
+                    EXPECT_EQ(d.peSrc, o.peSrc);
+                    EXPECT_EQ(d.chSrc, o.chSrc);
+                }
+            }
+        }
+    }
+}
+
+TEST(Schedule, GeometryHelpers)
+{
+    SchedConfig cfg = tinyConfig();
+    Schedule sch;
+    sch.config = cfg;
+    sch.rows = 130;
+    sch.cols = 40;
+    EXPECT_EQ(sch.windowsPerPass(), 3u);
+    EXPECT_EQ(sch.passes(), 3u); // 64 rows per pass
+}
+
+} // namespace
+} // namespace sched
+} // namespace chason

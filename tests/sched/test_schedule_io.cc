@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for schedule serialization: the artifact round trip must
+ * preserve the schedule exactly, and a schedule reconstructed from the
+ * wire encoding must simulate identically — functionally and in cycles.
+ */
+
+#include "sched/schedule_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/chason_accel.h"
+#include "common/rng.h"
+#include "sched/analyzer.h"
+#include "sched/crhcs.h"
+#include "sched/pe_aware.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sched {
+namespace {
+
+Schedule
+sampleSchedule(std::uint64_t seed, bool migrated)
+{
+    Rng rng(seed);
+    const sparse::CsrMatrix a =
+        sparse::arrowBanded(800, 6, 0.3, 2, rng);
+    SchedConfig cfg;
+    cfg.migrationDepth = migrated ? 1 : 0;
+    if (migrated)
+        return CrhcsScheduler(cfg).schedule(a);
+    return PeAwareScheduler(cfg).schedule(a);
+}
+
+void
+expectEqualSchedules(const Schedule &a, const Schedule &b)
+{
+    ASSERT_EQ(a.phases.size(), b.phases.size());
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.cols, b.cols);
+    EXPECT_EQ(a.nnz, b.nnz);
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    for (std::size_t ph = 0; ph < a.phases.size(); ++ph) {
+        const WindowSchedule &pa = a.phases[ph];
+        const WindowSchedule &pb = b.phases[ph];
+        EXPECT_EQ(pa.pass, pb.pass);
+        EXPECT_EQ(pa.window, pb.window);
+        EXPECT_EQ(pa.alignedBeats, pb.alignedBeats);
+        ASSERT_EQ(pa.channels.size(), pb.channels.size());
+        for (std::size_t ch = 0; ch < pa.channels.size(); ++ch) {
+            ASSERT_EQ(pa.channels[ch].length(), pb.channels[ch].length());
+            for (std::size_t t = 0; t < pa.channels[ch].length(); ++t) {
+                for (unsigned p = 0; p < a.config.pesPerGroup(); ++p) {
+                    const Slot &sa = pa.channels[ch].beats[t].slots[p];
+                    const Slot &sb = pb.channels[ch].beats[t].slots[p];
+                    ASSERT_EQ(sa.valid, sb.valid);
+                    if (!sa.valid)
+                        continue;
+                    EXPECT_EQ(sa.row, sb.row);
+                    EXPECT_EQ(sa.col, sb.col);
+                    EXPECT_EQ(sa.value, sb.value);
+                    EXPECT_EQ(sa.pvt, sb.pvt);
+                    EXPECT_EQ(sa.peSrc, sb.peSrc);
+                    EXPECT_EQ(sa.chSrc, sb.chSrc);
+                }
+            }
+        }
+    }
+}
+
+TEST(ScheduleIo, RoundTripPeAware)
+{
+    const Schedule original = sampleSchedule(1, false);
+    std::stringstream buffer;
+    writeSchedule(original, buffer);
+    const Schedule restored = readSchedule(buffer);
+    expectEqualSchedules(original, restored);
+}
+
+TEST(ScheduleIo, RoundTripCrhcsWithMigratedElements)
+{
+    const Schedule original = sampleSchedule(2, true);
+    // Confirm the sample actually contains migrated work.
+    std::size_t migrated = 0;
+    for (const WindowSchedule &phase : original.phases) {
+        for (const auto &ch : phase.channels) {
+            for (const Beat &beat : ch.beats) {
+                for (unsigned p = 0; p < 8; ++p) {
+                    if (beat.slots[p].valid && !beat.slots[p].pvt)
+                        ++migrated;
+                }
+            }
+        }
+    }
+    ASSERT_GT(migrated, 0u);
+
+    std::stringstream buffer;
+    writeSchedule(original, buffer);
+    const Schedule restored = readSchedule(buffer);
+    expectEqualSchedules(original, restored);
+}
+
+TEST(ScheduleIo, RestoredScheduleSimulatesIdentically)
+{
+    Rng rng(3);
+    const sparse::CsrMatrix a = sparse::arrowBanded(800, 6, 0.3, 2, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const arch::ArchConfig cfg;
+    const Schedule original = CrhcsScheduler(cfg.sched).schedule(a);
+
+    std::stringstream buffer;
+    writeSchedule(original, buffer);
+    const Schedule restored = readSchedule(buffer);
+
+    const arch::ChasonAccelerator accel(cfg);
+    const arch::RunResult r1 = accel.run(original, x);
+    const arch::RunResult r2 = accel.run(restored, x);
+    EXPECT_EQ(r1.y, r2.y); // bit-identical results
+    EXPECT_EQ(r1.cycles.total(), r2.cycles.total());
+    validateSchedule(restored, a);
+}
+
+TEST(ScheduleIo, FileRoundTrip)
+{
+    const Schedule original = sampleSchedule(4, true);
+    const std::string path =
+        ::testing::TempDir() + "/chason_schedule_test.bin";
+    writeScheduleFile(original, path);
+    const Schedule restored = readScheduleFile(path);
+    expectEqualSchedules(original, restored);
+}
+
+TEST(ScheduleIoDeath, BadMagicFatal)
+{
+    std::stringstream buffer;
+    buffer.write("NOTASCHD........", 16);
+    EXPECT_EXIT(readSchedule(buffer), ::testing::ExitedWithCode(1),
+                "magic");
+}
+
+TEST(ScheduleIoDeath, TruncationFatal)
+{
+    const Schedule original = sampleSchedule(5, false);
+    std::stringstream buffer;
+    writeSchedule(original, buffer);
+    const std::string full = buffer.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(readSchedule(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(ScheduleIo, ArtifactBytesMatchAnalyzer)
+{
+    const Schedule sch = sampleSchedule(6, true);
+    EXPECT_EQ(scheduleArtifactBytes(sch), analyze(sch).matrixBytes);
+}
+
+TEST(ScheduleIoDeath, DeepMigrationUnserializable)
+{
+    Rng rng(7);
+    const sparse::CsrMatrix a = sparse::zipfRows(64, 64, 500, 1.3, rng);
+    SchedConfig cfg;
+    cfg.channels = 8;
+    cfg.migrationDepth = 2;
+    const Schedule sch = CrhcsScheduler(cfg).schedule(a);
+    std::stringstream buffer;
+    EXPECT_DEATH(writeSchedule(sch, buffer), "immediate next channel");
+}
+
+} // namespace
+} // namespace sched
+} // namespace chason

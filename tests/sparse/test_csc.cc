@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the CSC format.
+ */
+
+#include "sparse/csc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sparse {
+namespace {
+
+CsrMatrix
+smallCsr()
+{
+    CooMatrix coo(3, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 1, 2.0f);
+    coo.add(1, 0, -1.0f);
+    coo.add(2, 3, 5.0f);
+    return coo.toCsr();
+}
+
+TEST(Csc, FromCsrStructure)
+{
+    const CscMatrix csc = CscMatrix::fromCsr(smallCsr());
+    EXPECT_EQ(csc.rows(), 3u);
+    EXPECT_EQ(csc.cols(), 4u);
+    EXPECT_EQ(csc.nnz(), 4u);
+    EXPECT_EQ(csc.colNnz(0), 2u);
+    EXPECT_EQ(csc.colNnz(1), 1u);
+    EXPECT_EQ(csc.colNnz(2), 0u);
+    EXPECT_EQ(csc.colNnz(3), 1u);
+    EXPECT_EQ(csc.maxColNnz(), 2u);
+    // Rows sorted within column 0.
+    EXPECT_EQ(csc.rowIdx()[0], 0u);
+    EXPECT_EQ(csc.rowIdx()[1], 1u);
+}
+
+TEST(Csc, RoundTripToCsr)
+{
+    Rng rng(1);
+    const CsrMatrix csr = erdosRenyi(100, 150, 2000, rng);
+    const CsrMatrix back = CscMatrix::fromCsr(csr).toCsr();
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+    EXPECT_EQ(back.values(), csr.values());
+}
+
+TEST(Csc, SpmvMatchesCsrKernel)
+{
+    Rng rng(2);
+    const CsrMatrix csr = zipfRows(120, 200, 2500, 1.3, rng);
+    const CscMatrix csc = CscMatrix::fromCsr(csr);
+    const std::vector<float> x = randomVector(csr.cols(), rng);
+    const std::vector<float> y = csc.spmv(x);
+    const std::vector<double> ref = spmvReference(csr, x);
+    EXPECT_LE(maxRelativeError(y, ref), 1.0);
+}
+
+TEST(Csc, TransposedSpmvMatchesExplicitTranspose)
+{
+    Rng rng(3);
+    const CsrMatrix csr = erdosRenyi(80, 60, 900, rng);
+    const CscMatrix csc = CscMatrix::fromCsr(csr);
+    const std::vector<float> x = randomVector(csr.rows(), rng);
+    const std::vector<float> y = csc.spmvTransposed(x);
+    const std::vector<double> ref =
+        spmvReference(csr.transpose(), x);
+    EXPECT_LE(maxRelativeError(y, ref), 1.0);
+}
+
+TEST(Csc, EmptyMatrix)
+{
+    CooMatrix coo(5, 5);
+    const CscMatrix csc = CscMatrix::fromCsr(coo.toCsr());
+    EXPECT_EQ(csc.nnz(), 0u);
+    EXPECT_EQ(csc.maxColNnz(), 0u);
+    const std::vector<float> x(5, 1.0f);
+    for (float v : csc.spmv(x))
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(CscDeath, BoundsChecked)
+{
+    const CscMatrix csc = CscMatrix::fromCsr(smallCsr());
+    EXPECT_DEATH(csc.colNnz(4), "out of range");
+    const std::vector<float> bad(2, 1.0f);
+    EXPECT_DEATH(csc.spmv(bad), "columns");
+}
+
+} // namespace
+} // namespace sparse
+} // namespace chason

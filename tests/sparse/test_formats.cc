@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the sparse matrix containers and reference kernels.
+ */
+
+#include "sparse/formats.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace sparse {
+namespace {
+
+CooMatrix
+smallCoo()
+{
+    CooMatrix coo(3, 4);
+    coo.add(0, 1, 2.0f);
+    coo.add(2, 3, 5.0f);
+    coo.add(1, 0, -1.0f);
+    coo.add(0, 0, 1.0f);
+    return coo;
+}
+
+TEST(CooMatrix, Basics)
+{
+    CooMatrix coo = smallCoo();
+    EXPECT_EQ(coo.rows(), 3u);
+    EXPECT_EQ(coo.cols(), 4u);
+    EXPECT_EQ(coo.nnz(), 4u);
+    EXPECT_NEAR(coo.densityPercent(), 100.0 * 4 / 12, 1e-9);
+}
+
+TEST(CooMatrix, OutOfRangePanics)
+{
+    CooMatrix coo(2, 2);
+    EXPECT_DEATH(coo.add(2, 0, 1.0f), "out of range");
+    EXPECT_DEATH(coo.add(0, 2, 1.0f), "out of range");
+}
+
+TEST(CooMatrix, CanonicalizeSortsAndMerges)
+{
+    CooMatrix coo(2, 2);
+    coo.add(1, 1, 1.0f);
+    coo.add(0, 0, 2.0f);
+    coo.add(1, 1, 3.0f);
+    coo.canonicalize();
+    ASSERT_EQ(coo.nnz(), 2u);
+    EXPECT_EQ(coo.entries()[0], (Triplet{0, 0, 2.0f}));
+    EXPECT_EQ(coo.entries()[1], (Triplet{1, 1, 4.0f}));
+}
+
+TEST(CooMatrix, AddSymmetric)
+{
+    CooMatrix coo(3, 3);
+    coo.addSymmetric(0, 1, 2.0f);
+    coo.addSymmetric(2, 2, 1.0f);
+    EXPECT_EQ(coo.nnz(), 3u); // off-diagonal doubled, diagonal not
+}
+
+TEST(CsrMatrix, FromCoo)
+{
+    const CsrMatrix csr = smallCoo().toCsr();
+    EXPECT_EQ(csr.rows(), 3u);
+    EXPECT_EQ(csr.cols(), 4u);
+    EXPECT_EQ(csr.nnz(), 4u);
+    EXPECT_EQ(csr.rowNnz(0), 2u);
+    EXPECT_EQ(csr.rowNnz(1), 1u);
+    EXPECT_EQ(csr.rowNnz(2), 1u);
+    EXPECT_EQ(csr.maxRowNnz(), 2u);
+    EXPECT_EQ(csr.emptyRows(), 0u);
+    const std::vector<std::size_t> expected_ptr = {0, 2, 3, 4};
+    EXPECT_EQ(csr.rowPtr(), expected_ptr);
+}
+
+TEST(CsrMatrix, EmptyRowsCounted)
+{
+    CooMatrix coo(5, 5);
+    coo.add(0, 0, 1.0f);
+    coo.add(4, 4, 1.0f);
+    EXPECT_EQ(coo.toCsr().emptyRows(), 3u);
+}
+
+TEST(CsrMatrix, NonCanonicalInputPanics)
+{
+    const std::vector<Triplet> bad = {{1, 0, 1.0f}, {0, 0, 1.0f}};
+    EXPECT_DEATH(CsrMatrix(2, 2, bad), "not canonical");
+}
+
+TEST(CsrMatrix, TransposeTwiceIsIdentity)
+{
+    const CsrMatrix csr = smallCoo().toCsr();
+    const CsrMatrix back = csr.transpose().transpose();
+    EXPECT_EQ(back.rowPtr(), csr.rowPtr());
+    EXPECT_EQ(back.colIdx(), csr.colIdx());
+    EXPECT_EQ(back.values(), csr.values());
+}
+
+TEST(CsrMatrix, RoundTripThroughCoo)
+{
+    const CsrMatrix csr = smallCoo().toCsr();
+    const CsrMatrix again = csr.toCoo().toCsr();
+    EXPECT_EQ(again.colIdx(), csr.colIdx());
+    EXPECT_EQ(again.values(), csr.values());
+}
+
+TEST(CsrMatrix, Describe)
+{
+    const std::string d = smallCoo().toCsr().describe();
+    EXPECT_NE(d.find("3x4"), std::string::npos);
+    EXPECT_NE(d.find("4 nnz"), std::string::npos);
+}
+
+TEST(SpmvReference, KnownResult)
+{
+    // [1 2 0 0; -1 0 0 0; 0 0 0 5] * [1 2 3 4] = [5, -1, 20]
+    const CsrMatrix csr = smallCoo().toCsr();
+    const std::vector<float> x = {1, 2, 3, 4};
+    const std::vector<double> y = spmvReference(csr, x);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], 20.0);
+}
+
+TEST(SpmvFloat, MatchesReferenceOnSmallInput)
+{
+    const CsrMatrix csr = smallCoo().toCsr();
+    const std::vector<float> x = {1, 2, 3, 4};
+    const std::vector<float> yf = spmvFloat(csr, x);
+    const std::vector<double> yd = spmvReference(csr, x);
+    EXPECT_LE(maxRelativeError(yf, yd), 1.0);
+}
+
+TEST(SpmvReference, SizeMismatchPanics)
+{
+    const CsrMatrix csr = smallCoo().toCsr();
+    const std::vector<float> bad_x = {1, 2};
+    EXPECT_DEATH(spmvReference(csr, bad_x), "columns");
+}
+
+TEST(MaxRelativeError, FlagsViolations)
+{
+    const std::vector<float> res = {1.0f, 2.0f};
+    const std::vector<double> ref = {1.0, 3.0};
+    EXPECT_GT(maxRelativeError(res, ref, 1e-3, 1e-4), 1.0);
+    const std::vector<double> close = {1.0, 2.0000001};
+    EXPECT_LE(maxRelativeError(res, close, 1e-3, 1e-4), 1.0);
+}
+
+} // namespace
+} // namespace sparse
+} // namespace chason

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic generators.
+ */
+
+#include "sparse/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace sparse {
+namespace {
+
+TEST(ErdosRenyi, ShapeAndNnz)
+{
+    Rng rng(1);
+    const CsrMatrix a = erdosRenyi(200, 300, 2000, rng);
+    EXPECT_EQ(a.rows(), 200u);
+    EXPECT_EQ(a.cols(), 300u);
+    EXPECT_LE(a.nnz(), 2000u);
+    EXPECT_GT(a.nnz(), 1900u); // few duplicate collisions at 3% density
+}
+
+TEST(ErdosRenyi, Deterministic)
+{
+    Rng a_rng(42), b_rng(42);
+    const CsrMatrix a = erdosRenyi(100, 100, 500, a_rng);
+    const CsrMatrix b = erdosRenyi(100, 100, 500, b_rng);
+    EXPECT_EQ(a.colIdx(), b.colIdx());
+    EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(Rmat, PowerLawSkew)
+{
+    Rng rng(2);
+    const CsrMatrix a = rmat(12, 40000, rng);
+    EXPECT_EQ(a.rows(), 4096u);
+    // Heavy-tailed: the max row far exceeds the mean (~10).
+    EXPECT_GT(a.maxRowNnz(), 60u);
+}
+
+TEST(PreferentialAttachment, HubColumnsAndHeavyRows)
+{
+    Rng rng(3);
+    const CsrMatrix a = preferentialAttachment(2000, 8, rng);
+    EXPECT_EQ(a.rows(), 2000u);
+    const std::size_t mean = a.nnz() / a.rows();
+    EXPECT_GE(mean, 4u);
+    // Out-degree tail: some row well above the mean.
+    EXPECT_GT(a.maxRowNnz(), 4 * mean);
+    // In-degree hubs: early nodes collect many edges.
+    const CsrMatrix t = a.transpose();
+    EXPECT_GT(t.maxRowNnz(), 20 * mean);
+}
+
+TEST(Banded, StructureWithinBand)
+{
+    Rng rng(4);
+    const std::uint32_t band = 3;
+    const CsrMatrix a = banded(50, band, 0.5, rng);
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1]; ++i) {
+            const std::int64_t delta =
+                static_cast<std::int64_t>(a.colIdx()[i]) - r;
+            EXPECT_LE(std::abs(delta), band);
+        }
+        // Diagonal always present.
+        EXPECT_GE(a.rowNnz(r), 1u);
+    }
+}
+
+TEST(ArrowBanded, DenseRowsPresent)
+{
+    Rng rng(5);
+    const CsrMatrix a = arrowBanded(256, 4, 0.3, 3, rng);
+    unsigned dense_rows = 0;
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        if (a.rowNnz(r) == a.cols())
+            ++dense_rows;
+    }
+    EXPECT_EQ(dense_rows, 3u);
+    EXPECT_EQ(a.maxRowNnz(), a.cols());
+}
+
+TEST(ArrowBanded, ZeroDenseRowsEqualsBanded)
+{
+    Rng rng(6);
+    const CsrMatrix a = arrowBanded(128, 4, 0.3, 0, rng);
+    EXPECT_LT(a.maxRowNnz(), 10u);
+}
+
+TEST(BlockDiagonal, BlockResidency)
+{
+    Rng rng(7);
+    const std::uint32_t block = 16;
+    const CsrMatrix a = blockDiagonal(64, block, 0.5, 0.1, rng);
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t i = a.rowPtr()[r]; i < a.rowPtr()[r + 1]; ++i) {
+            // Entries live in the row's block or the immediately next one.
+            const std::uint32_t row_block = r / block;
+            const std::uint32_t col_block = a.colIdx()[i] / block;
+            EXPECT_LE(col_block, row_block + 1);
+            EXPECT_GE(col_block, row_block); // own or next block only
+        }
+    }
+}
+
+TEST(Mycielskian, ExactCountsMatchTable2)
+{
+    // M12 is the paper's MY matrix: 3071 vertices, 407200 stored entries.
+    const CsrMatrix m12 = mycielskian(12);
+    EXPECT_EQ(m12.rows(), 3071u);
+    EXPECT_EQ(m12.cols(), 3071u);
+    EXPECT_EQ(m12.nnz(), 407200u);
+    EXPECT_NEAR(m12.densityPercent(), 4.31, 0.02);
+}
+
+TEST(Mycielskian, SmallOrdersExact)
+{
+    // n_k = 2 n_{k-1} + 1, e_k = 3 e_{k-1} + n_{k-1}; nnz = 2 e.
+    const CsrMatrix m2 = mycielskian(2);
+    EXPECT_EQ(m2.rows(), 2u);
+    EXPECT_EQ(m2.nnz(), 2u);
+    const CsrMatrix m3 = mycielskian(3); // the 5-cycle
+    EXPECT_EQ(m3.rows(), 5u);
+    EXPECT_EQ(m3.nnz(), 10u);
+    const CsrMatrix m4 = mycielskian(4); // the Grötzsch graph
+    EXPECT_EQ(m4.rows(), 11u);
+    EXPECT_EQ(m4.nnz(), 40u);
+}
+
+TEST(Mycielskian, Symmetric)
+{
+    const CsrMatrix m5 = mycielskian(5);
+    const CsrMatrix t = m5.transpose();
+    EXPECT_EQ(m5.colIdx(), t.colIdx());
+    EXPECT_EQ(m5.values(), t.values());
+}
+
+TEST(Poisson2d, StencilCounts)
+{
+    const CsrMatrix a = poisson2d(10);
+    EXPECT_EQ(a.rows(), 100u);
+    // 5-point stencil: nnz = 5*n - 4*grid boundary corrections.
+    EXPECT_EQ(a.nnz(), 5u * 100 - 4 * 10);
+    // Interior row has 5 entries.
+    EXPECT_EQ(a.rowNnz(5 * 10 + 5), 5u);
+    // Corner has 3.
+    EXPECT_EQ(a.rowNnz(0), 3u);
+}
+
+TEST(ZipfRows, SkewGrowsWithS)
+{
+    Rng rng1(8), rng2(9);
+    const CsrMatrix mild = zipfRows(1024, 1024, 20000, 1.1, rng1);
+    const CsrMatrix wild = zipfRows(1024, 1024, 20000, 1.8, rng2);
+    EXPECT_GT(wild.maxRowNnz(), mild.maxRowNnz());
+}
+
+TEST(RandomVector, RangeAndDeterminism)
+{
+    Rng rng(10);
+    const std::vector<float> v = randomVector(100, rng);
+    ASSERT_EQ(v.size(), 100u);
+    for (float e : v) {
+        EXPECT_GE(e, 0.1f);
+        EXPECT_LT(e, 1.0f);
+    }
+    Rng rng2(10);
+    EXPECT_EQ(randomVector(100, rng2), v);
+}
+
+TEST(DrawValue, Distributions)
+{
+    Rng rng(11);
+    EXPECT_EQ(drawValue(rng, ValueDistribution::Ones), 1.0f);
+    for (int i = 0; i < 100; ++i) {
+        const float p = drawValue(rng, ValueDistribution::PositiveUniform);
+        EXPECT_GE(p, 0.1f);
+        EXPECT_LT(p, 1.0f);
+        const float s = drawValue(rng, ValueDistribution::SignedUniform);
+        EXPECT_GE(s, -1.0f);
+        EXPECT_LT(s, 1.0f);
+    }
+}
+
+} // namespace
+} // namespace sparse
+} // namespace chason

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the structural analysis module.
+ */
+
+#include "sparse/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace sparse {
+namespace {
+
+TEST(Structure, UniformRowsHaveLowGini)
+{
+    const CsrMatrix a = poisson2d(30);
+    const StructureProfile p = analyzeStructure(a);
+    EXPECT_LT(p.rowGini, 0.1);
+    EXPECT_EQ(p.emptyRows, 0u);
+    EXPECT_NEAR(p.meanRowNnz, 5.0, 0.5);
+    EXPECT_EQ(p.maxRowNnz, 5u);
+    EXPECT_EQ(p.bandwidth, 30u); // the vertical stencil neighbour
+}
+
+TEST(Structure, SingleHeavyRowHasHighGini)
+{
+    CooMatrix coo(100, 200);
+    for (std::uint32_t c = 0; c < 150; ++c)
+        coo.add(7, c, 1.0f);
+    const StructureProfile p = analyzeStructure(coo.toCsr());
+    EXPECT_GT(p.rowGini, 0.95);
+    EXPECT_EQ(p.maxRowNnz, 150u);
+    EXPECT_EQ(p.emptyRows, 99u);
+    EXPECT_NEAR(p.top1PercentShare, 1.0, 1e-9);
+}
+
+TEST(Structure, GiniOrdersFamiliesByImbalance)
+{
+    Rng rng(1);
+    const StructureProfile uniform =
+        analyzeStructure(banded(512, 6, 0.8, rng));
+    const StructureProfile graph =
+        analyzeStructure(preferentialAttachment(512, 6, rng));
+    const StructureProfile heavy =
+        analyzeStructure(zipfRows(512, 512, 4000, 1.4, rng));
+    EXPECT_LT(uniform.rowGini, graph.rowGini);
+    EXPECT_LT(graph.rowGini, heavy.rowGini);
+}
+
+TEST(Structure, SerializationRatioPredictsTailDominance)
+{
+    Rng rng(2);
+    // Balanced: ratio << 1 at 128 lanes and distance 10.
+    const StructureProfile balanced =
+        analyzeStructure(banded(4096, 8, 0.8, rng));
+    EXPECT_LT(balanced.serializationRatio(128, 10), 1.0);
+    // Arrowhead: the dense row dominates.
+    const StructureProfile arrow =
+        analyzeStructure(arrowBanded(4096, 8, 0.3, 4, rng));
+    EXPECT_GT(arrow.serializationRatio(128, 10), 5.0);
+}
+
+TEST(Structure, EmptyMatrix)
+{
+    CooMatrix coo(10, 10);
+    const StructureProfile p = analyzeStructure(coo.toCsr());
+    EXPECT_EQ(p.nnz, 0u);
+    EXPECT_EQ(p.rowGini, 0.0);
+    EXPECT_EQ(p.serializationRatio(128, 10), 0.0);
+}
+
+TEST(Structure, DescribeMentionsKeyNumbers)
+{
+    Rng rng(3);
+    const CsrMatrix a = erdosRenyi(64, 64, 512, rng);
+    const std::string d = analyzeStructure(a).describe();
+    EXPECT_NE(d.find("64x64"), std::string::npos);
+    EXPECT_NE(d.find("gini="), std::string::npos);
+}
+
+TEST(Structure, BandwidthOfDiagonalIsZero)
+{
+    CooMatrix coo(32, 32);
+    for (std::uint32_t r = 0; r < 32; ++r)
+        coo.add(r, r, 1.0f);
+    EXPECT_EQ(analyzeStructure(coo.toCsr()).bandwidth, 0u);
+}
+
+} // namespace
+} // namespace sparse
+} // namespace chason

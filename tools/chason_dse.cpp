@@ -1,0 +1,128 @@
+/**
+ * @file
+ * chason_dse — design-space exploration for one matrix.
+ *
+ * Sweeps architecture knobs (matrix channels, PEs per PEG, migration
+ * depth, ScUG size) over a matrix, evaluates each point with the
+ * closed-form estimator and the resource model, and prints the frontier:
+ * latency vs URAM cost, with points that do not fit the U55c flagged.
+ *
+ * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/chason.h"
+
+namespace {
+
+using namespace chason;
+
+struct DsePoint
+{
+    unsigned channels;
+    unsigned pes;
+    unsigned depth;
+    unsigned scug;
+    double latency_us;
+    std::uint64_t uram;
+    bool fits;
+    double underutil;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dataset = "MY";
+    std::string mtx;
+    unsigned raw = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dataset" && i + 1 < argc) {
+            dataset = argv[++i];
+        } else if (arg == "--mtx" && i + 1 < argc) {
+            mtx = argv[++i];
+        } else if (arg == "--raw" && i + 1 < argc) {
+            raw = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: chason_dse [--dataset TAG | --mtx FILE] "
+                         "[--raw D]\n");
+            return 2;
+        }
+    }
+
+    const sparse::CsrMatrix a = mtx.empty()
+        ? sparse::table2ByTag(dataset).generate()
+        : sparse::readMatrixMarketFile(mtx).toCsr();
+    std::printf("design-space exploration for %s (raw distance %u)\n\n",
+                a.describe().c_str(), raw);
+
+    std::vector<DsePoint> points;
+    for (unsigned channels : {8u, 16u}) {
+        for (unsigned pes : {4u, 8u}) {
+            for (unsigned depth : {0u, 1u, 2u}) {
+                for (unsigned scug : {1u, 4u}) {
+                    if (scug > pes)
+                        continue;
+                    arch::ArchConfig cfg;
+                    cfg.sched.channels = channels;
+                    cfg.sched.pesOverride = pes;
+                    cfg.sched.rawDistance = raw;
+                    cfg.sched.migrationDepth = depth;
+                    cfg.scugSize = scug;
+                    cfg.sched.rowsPerLanePerPass =
+                        cfg.capacityRowsPerLane();
+
+                    const sched::Schedule sch = depth == 0
+                        ? sched::PeAwareScheduler(cfg.sched).schedule(a)
+                        : sched::CrhcsScheduler(cfg.sched).schedule(a);
+                    const arch::DatapathKind kind = depth == 0
+                        ? arch::DatapathKind::Serpens
+                        : arch::DatapathKind::Chason;
+                    const arch::FpgaResources res = depth == 0
+                        ? arch::serpensResources(cfg)
+                        : arch::chasonResources(cfg);
+
+                    points.push_back(
+                        {channels, pes, depth, scug,
+                         arch::estimateLatencyUs(sch, cfg, kind),
+                         res.uram, res.fitsU55c(),
+                         sched::analyze(sch).underutilizationPercent});
+                }
+            }
+        }
+    }
+
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint &a_, const DsePoint &b_) {
+                  return a_.latency_us < b_.latency_us;
+              });
+
+    // Pareto frontier over (latency, URAM) among fitting points.
+    std::uint64_t best_uram = ~0ull;
+    chason::TextTable t;
+    t.setHeader({"ch", "pes", "depth", "scug", "latency (us)", "URAM",
+                 "fits", "underutil", "pareto"});
+    for (const DsePoint &p : points) {
+        const bool pareto = p.fits && p.uram < best_uram;
+        if (pareto)
+            best_uram = p.uram;
+        t.addRow({std::to_string(p.channels), std::to_string(p.pes),
+                  std::to_string(p.depth), std::to_string(p.scug),
+                  chason::TextTable::num(p.latency_us, 1),
+                  std::to_string(p.uram), p.fits ? "yes" : "NO",
+                  chason::TextTable::pct(p.underutil, 1), pareto ? "*" : ""});
+    }
+    t.print();
+    std::printf("\n'*' marks the latency-vs-URAM Pareto frontier among "
+                "configurations that fit the U55c\n");
+    return 0;
+}

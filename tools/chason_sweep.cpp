@@ -1,0 +1,91 @@
+/**
+ * @file
+ * chason_sweep — run a corpus through both engines and emit one JSON
+ * line per matrix (the machine-readable counterpart of the Fig. 11/14
+ * benches, for plotting and regression tracking).
+ *
+ * Usage:
+ *   chason_sweep [--count N] [--table2] [--dozen] [--out FILE]
+ *
+ * Default: the first 100 sweep-corpus matrices to stdout.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/chason.h"
+
+namespace {
+
+using namespace chason;
+
+void
+emit(std::FILE *out, const std::string &name, const sparse::CsrMatrix &a)
+{
+    Rng rng(0x57EE9);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const core::Comparison cmp = core::compare(a, x, name);
+    std::fprintf(out, "%s\n", core::toJson(cmp).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t count = 100;
+    bool table2 = false;
+    bool dozen = false;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--count" && i + 1 < argc) {
+            count = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--table2") {
+            table2 = true;
+        } else if (arg == "--dozen") {
+            dozen = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: chason_sweep [--count N] [--table2] "
+                         "[--dozen] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    std::FILE *out = stdout;
+    if (!out_path.empty()) {
+        out = std::fopen(out_path.c_str(), "w");
+        if (!out)
+            chason_fatal("cannot create '%s'", out_path.c_str());
+    }
+
+    std::size_t done = 0;
+    if (table2) {
+        for (const sparse::DatasetEntry &e : sparse::table2()) {
+            emit(out, e.id, e.generate());
+            ++done;
+        }
+    } else if (dozen) {
+        for (const sparse::SweepEntry &e : sparse::serpensDozen()) {
+            emit(out, e.name, e.generate());
+            ++done;
+        }
+    } else {
+        for (const sparse::SweepEntry &e : sparse::sweepCorpus(count)) {
+            emit(out, e.name, e.generate());
+            ++done;
+        }
+    }
+
+    if (out != stdout)
+        std::fclose(out);
+    std::fprintf(stderr, "chason_sweep: %zu matrices emitted\n", done);
+    return 0;
+}
