@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_raw_distance.cpp" "bench/CMakeFiles/bench_ablation_raw_distance.dir/bench_ablation_raw_distance.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_raw_distance.dir/bench_ablation_raw_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/chason_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chason_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/chason_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chason_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/chason_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/chason_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/chason_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm/CMakeFiles/chason_hbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chason_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

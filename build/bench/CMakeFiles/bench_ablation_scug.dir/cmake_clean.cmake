@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scug.dir/bench_ablation_scug.cpp.o"
+  "CMakeFiles/bench_ablation_scug.dir/bench_ablation_scug.cpp.o.d"
+  "bench_ablation_scug"
+  "bench_ablation_scug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

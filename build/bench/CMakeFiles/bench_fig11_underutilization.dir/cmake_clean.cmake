@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_underutilization.dir/bench_fig11_underutilization.cpp.o"
+  "CMakeFiles/bench_fig11_underutilization.dir/bench_fig11_underutilization.cpp.o.d"
+  "bench_fig11_underutilization"
+  "bench_fig11_underutilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_underutilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

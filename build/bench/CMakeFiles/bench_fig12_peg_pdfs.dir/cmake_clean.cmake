@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_peg_pdfs.dir/bench_fig12_peg_pdfs.cpp.o"
+  "CMakeFiles/bench_fig12_peg_pdfs.dir/bench_fig12_peg_pdfs.cpp.o.d"
+  "bench_fig12_peg_pdfs"
+  "bench_fig12_peg_pdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_peg_pdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cpu_gpu.dir/bench_fig14_cpu_gpu.cpp.o"
+  "CMakeFiles/bench_fig14_cpu_gpu.dir/bench_fig14_cpu_gpu.cpp.o.d"
+  "bench_fig14_cpu_gpu"
+  "bench_fig14_cpu_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cpu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_serpens.dir/bench_fig15_serpens.cpp.o"
+  "CMakeFiles/bench_fig15_serpens.dir/bench_fig15_serpens.cpp.o.d"
+  "bench_fig15_serpens"
+  "bench_fig15_serpens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_serpens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imbalance_correlation.dir/bench_imbalance_correlation.cpp.o"
+  "CMakeFiles/bench_imbalance_correlation.dir/bench_imbalance_correlation.cpp.o.d"
+  "bench_imbalance_correlation"
+  "bench_imbalance_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imbalance_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_methodology_iterations.dir/bench_methodology_iterations.cpp.o"
+  "CMakeFiles/bench_methodology_iterations.dir/bench_methodology_iterations.cpp.o.d"
+  "bench_methodology_iterations"
+  "bench_methodology_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_methodology_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serpens_dozen.dir/bench_serpens_dozen.cpp.o"
+  "CMakeFiles/bench_serpens_dozen.dir/bench_serpens_dozen.cpp.o.d"
+  "bench_serpens_dozen"
+  "bench_serpens_dozen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serpens_dozen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

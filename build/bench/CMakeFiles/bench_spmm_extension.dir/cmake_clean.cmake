@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmm_extension.dir/bench_spmm_extension.cpp.o"
+  "CMakeFiles/bench_spmm_extension.dir/bench_spmm_extension.cpp.o.d"
+  "bench_spmm_extension"
+  "bench_spmm_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmm_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_detailed.dir/bench_table3_detailed.cpp.o"
+  "CMakeFiles/bench_table3_detailed.dir/bench_table3_detailed.cpp.o.d"
+  "bench_table3_detailed"
+  "bench_table3_detailed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_detailed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

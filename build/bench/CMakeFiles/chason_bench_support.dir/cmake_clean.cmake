@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_bench_support.dir/support.cc.o"
+  "CMakeFiles/chason_bench_support.dir/support.cc.o.d"
+  "libchason_bench_support.a"
+  "libchason_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

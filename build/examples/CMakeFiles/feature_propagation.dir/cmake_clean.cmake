@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_propagation.dir/feature_propagation.cpp.o"
+  "CMakeFiles/feature_propagation.dir/feature_propagation.cpp.o.d"
+  "feature_propagation"
+  "feature_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

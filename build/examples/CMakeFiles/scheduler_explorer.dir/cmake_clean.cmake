@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_explorer.dir/scheduler_explorer.cpp.o"
+  "CMakeFiles/scheduler_explorer.dir/scheduler_explorer.cpp.o.d"
+  "scheduler_explorer"
+  "scheduler_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cc" "src/arch/CMakeFiles/chason_arch.dir/accelerator.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/accelerator.cc.o.d"
+  "/root/repo/src/arch/chason_accel.cc" "src/arch/CMakeFiles/chason_arch.dir/chason_accel.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/chason_accel.cc.o.d"
+  "/root/repo/src/arch/estimator.cc" "src/arch/CMakeFiles/chason_arch.dir/estimator.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/estimator.cc.o.d"
+  "/root/repo/src/arch/frequency.cc" "src/arch/CMakeFiles/chason_arch.dir/frequency.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/frequency.cc.o.d"
+  "/root/repo/src/arch/peg.cc" "src/arch/CMakeFiles/chason_arch.dir/peg.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/peg.cc.o.d"
+  "/root/repo/src/arch/pipeline.cc" "src/arch/CMakeFiles/chason_arch.dir/pipeline.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/pipeline.cc.o.d"
+  "/root/repo/src/arch/power.cc" "src/arch/CMakeFiles/chason_arch.dir/power.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/power.cc.o.d"
+  "/root/repo/src/arch/resources.cc" "src/arch/CMakeFiles/chason_arch.dir/resources.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/resources.cc.o.d"
+  "/root/repo/src/arch/serpens_accel.cc" "src/arch/CMakeFiles/chason_arch.dir/serpens_accel.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/serpens_accel.cc.o.d"
+  "/root/repo/src/arch/timing.cc" "src/arch/CMakeFiles/chason_arch.dir/timing.cc.o" "gcc" "src/arch/CMakeFiles/chason_arch.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chason_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/chason_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/chason_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/hbm/CMakeFiles/chason_hbm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_arch.dir/accelerator.cc.o"
+  "CMakeFiles/chason_arch.dir/accelerator.cc.o.d"
+  "CMakeFiles/chason_arch.dir/chason_accel.cc.o"
+  "CMakeFiles/chason_arch.dir/chason_accel.cc.o.d"
+  "CMakeFiles/chason_arch.dir/estimator.cc.o"
+  "CMakeFiles/chason_arch.dir/estimator.cc.o.d"
+  "CMakeFiles/chason_arch.dir/frequency.cc.o"
+  "CMakeFiles/chason_arch.dir/frequency.cc.o.d"
+  "CMakeFiles/chason_arch.dir/peg.cc.o"
+  "CMakeFiles/chason_arch.dir/peg.cc.o.d"
+  "CMakeFiles/chason_arch.dir/pipeline.cc.o"
+  "CMakeFiles/chason_arch.dir/pipeline.cc.o.d"
+  "CMakeFiles/chason_arch.dir/power.cc.o"
+  "CMakeFiles/chason_arch.dir/power.cc.o.d"
+  "CMakeFiles/chason_arch.dir/resources.cc.o"
+  "CMakeFiles/chason_arch.dir/resources.cc.o.d"
+  "CMakeFiles/chason_arch.dir/serpens_accel.cc.o"
+  "CMakeFiles/chason_arch.dir/serpens_accel.cc.o.d"
+  "CMakeFiles/chason_arch.dir/timing.cc.o"
+  "CMakeFiles/chason_arch.dir/timing.cc.o.d"
+  "libchason_arch.a"
+  "libchason_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/arch/CMakeFiles/chason_arch.dir/frequency.cc.o: \
+ /root/repo/src/arch/frequency.cc /usr/include/stdc-predef.h \
+ /root/repo/src/arch/frequency.h

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_spmv.cc" "src/baselines/CMakeFiles/chason_baselines.dir/cpu_spmv.cc.o" "gcc" "src/baselines/CMakeFiles/chason_baselines.dir/cpu_spmv.cc.o.d"
+  "/root/repo/src/baselines/device_models.cc" "src/baselines/CMakeFiles/chason_baselines.dir/device_models.cc.o" "gcc" "src/baselines/CMakeFiles/chason_baselines.dir/device_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chason_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/chason_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_baselines.dir/cpu_spmv.cc.o"
+  "CMakeFiles/chason_baselines.dir/cpu_spmv.cc.o.d"
+  "CMakeFiles/chason_baselines.dir/device_models.cc.o"
+  "CMakeFiles/chason_baselines.dir/device_models.cc.o.d"
+  "libchason_baselines.a"
+  "libchason_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

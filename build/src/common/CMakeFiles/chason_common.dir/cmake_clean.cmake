@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_common.dir/bitfield.cc.o"
+  "CMakeFiles/chason_common.dir/bitfield.cc.o.d"
+  "CMakeFiles/chason_common.dir/logging.cc.o"
+  "CMakeFiles/chason_common.dir/logging.cc.o.d"
+  "CMakeFiles/chason_common.dir/rng.cc.o"
+  "CMakeFiles/chason_common.dir/rng.cc.o.d"
+  "CMakeFiles/chason_common.dir/stats.cc.o"
+  "CMakeFiles/chason_common.dir/stats.cc.o.d"
+  "CMakeFiles/chason_common.dir/table.cc.o"
+  "CMakeFiles/chason_common.dir/table.cc.o.d"
+  "libchason_common.a"
+  "libchason_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_core.dir/engine.cc.o"
+  "CMakeFiles/chason_core.dir/engine.cc.o.d"
+  "CMakeFiles/chason_core.dir/report_json.cc.o"
+  "CMakeFiles/chason_core.dir/report_json.cc.o.d"
+  "CMakeFiles/chason_core.dir/schedule_cache.cc.o"
+  "CMakeFiles/chason_core.dir/schedule_cache.cc.o.d"
+  "CMakeFiles/chason_core.dir/spmm.cc.o"
+  "CMakeFiles/chason_core.dir/spmm.cc.o.d"
+  "libchason_core.a"
+  "libchason_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_hbm.dir/hbm.cc.o"
+  "CMakeFiles/chason_hbm.dir/hbm.cc.o.d"
+  "libchason_hbm.a"
+  "libchason_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_hls.dir/spmv_kernel.cc.o"
+  "CMakeFiles/chason_hls.dir/spmv_kernel.cc.o.d"
+  "libchason_hls.a"
+  "libchason_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

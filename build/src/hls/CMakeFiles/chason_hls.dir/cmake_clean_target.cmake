@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchason_hls.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_runtime.dir/host.cc.o"
+  "CMakeFiles/chason_runtime.dir/host.cc.o.d"
+  "libchason_runtime.a"
+  "libchason_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analyzer.cc" "src/sched/CMakeFiles/chason_sched.dir/analyzer.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/analyzer.cc.o.d"
+  "/root/repo/src/sched/crhcs.cc" "src/sched/CMakeFiles/chason_sched.dir/crhcs.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/crhcs.cc.o.d"
+  "/root/repo/src/sched/element.cc" "src/sched/CMakeFiles/chason_sched.dir/element.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/element.cc.o.d"
+  "/root/repo/src/sched/pe_aware.cc" "src/sched/CMakeFiles/chason_sched.dir/pe_aware.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/pe_aware.cc.o.d"
+  "/root/repo/src/sched/row_based.cc" "src/sched/CMakeFiles/chason_sched.dir/row_based.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/row_based.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/chason_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/schedule_io.cc" "src/sched/CMakeFiles/chason_sched.dir/schedule_io.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/schedule_io.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/chason_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/chason_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chason_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/chason_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_sched.dir/analyzer.cc.o"
+  "CMakeFiles/chason_sched.dir/analyzer.cc.o.d"
+  "CMakeFiles/chason_sched.dir/crhcs.cc.o"
+  "CMakeFiles/chason_sched.dir/crhcs.cc.o.d"
+  "CMakeFiles/chason_sched.dir/element.cc.o"
+  "CMakeFiles/chason_sched.dir/element.cc.o.d"
+  "CMakeFiles/chason_sched.dir/pe_aware.cc.o"
+  "CMakeFiles/chason_sched.dir/pe_aware.cc.o.d"
+  "CMakeFiles/chason_sched.dir/row_based.cc.o"
+  "CMakeFiles/chason_sched.dir/row_based.cc.o.d"
+  "CMakeFiles/chason_sched.dir/schedule.cc.o"
+  "CMakeFiles/chason_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/chason_sched.dir/schedule_io.cc.o"
+  "CMakeFiles/chason_sched.dir/schedule_io.cc.o.d"
+  "CMakeFiles/chason_sched.dir/scheduler.cc.o"
+  "CMakeFiles/chason_sched.dir/scheduler.cc.o.d"
+  "libchason_sched.a"
+  "libchason_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

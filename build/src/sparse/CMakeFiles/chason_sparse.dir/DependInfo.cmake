@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csc.cc" "src/sparse/CMakeFiles/chason_sparse.dir/csc.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/csc.cc.o.d"
+  "/root/repo/src/sparse/dataset.cc" "src/sparse/CMakeFiles/chason_sparse.dir/dataset.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/dataset.cc.o.d"
+  "/root/repo/src/sparse/formats.cc" "src/sparse/CMakeFiles/chason_sparse.dir/formats.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/formats.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/sparse/CMakeFiles/chason_sparse.dir/generators.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/generators.cc.o.d"
+  "/root/repo/src/sparse/matrix_market.cc" "src/sparse/CMakeFiles/chason_sparse.dir/matrix_market.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/matrix_market.cc.o.d"
+  "/root/repo/src/sparse/structure.cc" "src/sparse/CMakeFiles/chason_sparse.dir/structure.cc.o" "gcc" "src/sparse/CMakeFiles/chason_sparse.dir/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chason_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_sparse.dir/csc.cc.o"
+  "CMakeFiles/chason_sparse.dir/csc.cc.o.d"
+  "CMakeFiles/chason_sparse.dir/dataset.cc.o"
+  "CMakeFiles/chason_sparse.dir/dataset.cc.o.d"
+  "CMakeFiles/chason_sparse.dir/formats.cc.o"
+  "CMakeFiles/chason_sparse.dir/formats.cc.o.d"
+  "CMakeFiles/chason_sparse.dir/generators.cc.o"
+  "CMakeFiles/chason_sparse.dir/generators.cc.o.d"
+  "CMakeFiles/chason_sparse.dir/matrix_market.cc.o"
+  "CMakeFiles/chason_sparse.dir/matrix_market.cc.o.d"
+  "CMakeFiles/chason_sparse.dir/structure.cc.o"
+  "CMakeFiles/chason_sparse.dir/structure.cc.o.d"
+  "libchason_sparse.a"
+  "libchason_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_beta.dir/core/test_alpha_beta.cc.o"
+  "CMakeFiles/test_alpha_beta.dir/core/test_alpha_beta.cc.o.d"
+  "test_alpha_beta"
+  "test_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

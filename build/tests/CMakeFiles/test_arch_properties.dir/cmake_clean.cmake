@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_properties.dir/arch/test_arch_properties.cc.o"
+  "CMakeFiles/test_arch_properties.dir/arch/test_arch_properties.cc.o.d"
+  "test_arch_properties"
+  "test_arch_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_spmv.dir/baselines/test_cpu_spmv.cc.o"
+  "CMakeFiles/test_cpu_spmv.dir/baselines/test_cpu_spmv.cc.o.d"
+  "test_cpu_spmv"
+  "test_cpu_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

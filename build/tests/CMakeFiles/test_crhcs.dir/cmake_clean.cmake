@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crhcs.dir/sched/test_crhcs.cc.o"
+  "CMakeFiles/test_crhcs.dir/sched/test_crhcs.cc.o.d"
+  "test_crhcs"
+  "test_crhcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crhcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

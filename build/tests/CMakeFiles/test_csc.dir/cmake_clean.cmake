@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csc.dir/sparse/test_csc.cc.o"
+  "CMakeFiles/test_csc.dir/sparse/test_csc.cc.o.d"
+  "test_csc"
+  "test_csc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_models.dir/baselines/test_device_models.cc.o"
+  "CMakeFiles/test_device_models.dir/baselines/test_device_models.cc.o.d"
+  "test_device_models"
+  "test_device_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

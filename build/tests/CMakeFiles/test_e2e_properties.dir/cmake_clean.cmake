@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_properties.dir/core/test_e2e_properties.cc.o"
+  "CMakeFiles/test_e2e_properties.dir/core/test_e2e_properties.cc.o.d"
+  "test_e2e_properties"
+  "test_e2e_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_element.dir/sched/test_element.cc.o"
+  "CMakeFiles/test_element.dir/sched/test_element.cc.o.d"
+  "test_element"
+  "test_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_small.dir/core/test_exhaustive_small.cc.o"
+  "CMakeFiles/test_exhaustive_small.dir/core/test_exhaustive_small.cc.o.d"
+  "test_exhaustive_small"
+  "test_exhaustive_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_mutations.dir/sched/test_fuzz_mutations.cc.o"
+  "CMakeFiles/test_fuzz_mutations.dir/sched/test_fuzz_mutations.cc.o.d"
+  "test_fuzz_mutations"
+  "test_fuzz_mutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbm.dir/hbm/test_hbm.cc.o"
+  "CMakeFiles/test_hbm.dir/hbm/test_hbm.cc.o.d"
+  "test_hbm"
+  "test_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pe_aware.dir/sched/test_pe_aware.cc.o"
+  "CMakeFiles/test_pe_aware.dir/sched/test_pe_aware.cc.o.d"
+  "test_pe_aware"
+  "test_pe_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pe_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

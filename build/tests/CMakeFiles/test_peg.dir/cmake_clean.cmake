@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peg.dir/arch/test_peg.cc.o"
+  "CMakeFiles/test_peg.dir/arch/test_peg.cc.o.d"
+  "test_peg"
+  "test_peg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

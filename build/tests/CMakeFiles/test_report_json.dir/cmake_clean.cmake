@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_json.dir/core/test_report_json.cc.o"
+  "CMakeFiles/test_report_json.dir/core/test_report_json.cc.o.d"
+  "test_report_json"
+  "test_report_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

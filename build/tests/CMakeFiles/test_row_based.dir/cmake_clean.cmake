@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_based.dir/sched/test_row_based.cc.o"
+  "CMakeFiles/test_row_based.dir/sched/test_row_based.cc.o.d"
+  "test_row_based"
+  "test_row_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_properties.dir/sched/test_sched_properties.cc.o"
+  "CMakeFiles/test_sched_properties.dir/sched/test_sched_properties.cc.o.d"
+  "test_sched_properties"
+  "test_sched_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_cache.dir/core/test_schedule_cache.cc.o"
+  "CMakeFiles/test_schedule_cache.dir/core/test_schedule_cache.cc.o.d"
+  "test_schedule_cache"
+  "test_schedule_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

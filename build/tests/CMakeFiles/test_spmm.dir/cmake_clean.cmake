@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmm.dir/core/test_spmm.cc.o"
+  "CMakeFiles/test_spmm.dir/core/test_spmm.cc.o.d"
+  "test_spmm"
+  "test_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

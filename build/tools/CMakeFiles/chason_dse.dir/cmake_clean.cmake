@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_dse.dir/chason_dse.cpp.o"
+  "CMakeFiles/chason_dse.dir/chason_dse.cpp.o.d"
+  "chason_dse"
+  "chason_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

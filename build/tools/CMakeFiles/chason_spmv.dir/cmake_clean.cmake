@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_spmv.dir/chason_spmv.cpp.o"
+  "CMakeFiles/chason_spmv.dir/chason_spmv.cpp.o.d"
+  "chason_spmv"
+  "chason_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

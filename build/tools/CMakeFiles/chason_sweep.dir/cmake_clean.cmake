@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chason_sweep.dir/chason_sweep.cpp.o"
+  "CMakeFiles/chason_sweep.dir/chason_sweep.cpp.o.d"
+  "chason_sweep"
+  "chason_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chason_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
