@@ -19,14 +19,14 @@ main()
     const auto corpus = sparse::sweepCorpus(bench::corpusSize());
     std::printf("corpus: %zu matrices\n\n", corpus.size());
 
-    std::vector<double> serpens, chason;
-    for (const sparse::SweepEntry &entry : corpus) {
-        const sparse::CsrMatrix a = entry.generate();
-        serpens.push_back(
-            bench::underutilizationOf(a, core::Engine::Kind::Serpens));
-        chason.push_back(
-            bench::underutilizationOf(a, core::Engine::Kind::Chason));
-    }
+    std::vector<double> serpens(corpus.size()), chason(corpus.size());
+    bench::parallelFor(corpus.size(), [&](std::size_t i) {
+        const sparse::CsrMatrix a = corpus[i].generate();
+        serpens[i] =
+            bench::underutilizationOf(a, core::Engine::Kind::Serpens);
+        chason[i] =
+            bench::underutilizationOf(a, core::Engine::Kind::Chason);
+    });
 
     // Fig. 11a: the two PDFs.
     bench::printPdfSeries("serpens", serpens, 0.0, 100.0);

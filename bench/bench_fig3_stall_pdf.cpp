@@ -24,13 +24,11 @@ main()
     std::printf("corpus: %zu matrices (CHASON_CORPUS to change)\n\n",
                 corpus.size());
 
-    std::vector<double> stalls;
-    stalls.reserve(corpus.size());
-    for (const sparse::SweepEntry &entry : corpus) {
-        const sparse::CsrMatrix a = entry.generate();
-        stalls.push_back(
-            bench::underutilizationOf(a, core::Engine::Kind::Serpens));
-    }
+    std::vector<double> stalls(corpus.size());
+    bench::parallelFor(corpus.size(), [&](std::size_t i) {
+        stalls[i] = bench::underutilizationOf(
+            corpus[i].generate(), core::Engine::Kind::Serpens);
+    });
 
     bench::printPdfSeries("peaware", stalls, 0.0, 100.0);
 

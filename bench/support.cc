@@ -26,6 +26,32 @@ corpusSize()
     return 800;
 }
 
+unsigned
+jobCount()
+{
+    if (const char *env = std::getenv("CHASON_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 0; // BatchEngine default: one worker per hardware thread
+}
+
+core::BatchEngine &
+sharedBatch()
+{
+    static core::BatchEngine batch{
+        core::BatchOptions{jobCount(),
+                           core::ScheduleCache::kDefaultBudgetBytes}};
+    return batch;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    sharedBatch().parallelFor(n, body);
+}
+
 void
 printHeader(const std::string &experiment, const std::string &paper_ref)
 {
@@ -45,7 +71,7 @@ sched::ScheduleStats
 statsOf(const sparse::CsrMatrix &a, core::Engine::Kind kind)
 {
     const core::Engine engine(kind);
-    return sched::analyze(engine.schedule(a));
+    return sched::analyze(*sharedBatch().schedule(engine, a));
 }
 
 core::SpmvReport
@@ -54,7 +80,7 @@ reportOf(const sparse::CsrMatrix &a, core::Engine::Kind kind,
 {
     Rng rng(0xBE7C4);
     const std::vector<float> x = sparse::randomVector(a.cols(), rng);
-    return core::Engine(kind).run(a, x, tag);
+    return sharedBatch().run(core::Engine(kind), a, x, tag);
 }
 
 void

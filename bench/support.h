@@ -7,15 +7,24 @@
  * stdout. The 800-matrix corpus size can be reduced for quick runs with
  * the CHASON_CORPUS environment variable (the corpus is a deterministic
  * prefix, so smaller runs are subsets of the full one).
+ *
+ * All helpers schedule through one process-wide core::BatchEngine so
+ * that repeated (matrix, scheduler) pairs within a bench binary hit
+ * its schedule cache, and corpus loops can run on its worker pool via
+ * parallelFor (worker count: CHASON_JOBS env var, default one per
+ * hardware thread). Per-matrix results are deterministic regardless of
+ * the worker count — bodies write to their own index.
  */
 
 #ifndef CHASON_BENCH_SUPPORT_H_
 #define CHASON_BENCH_SUPPORT_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/batch_engine.h"
 #include "core/engine.h"
 #include "sched/analyzer.h"
 #include "sparse/dataset.h"
@@ -25,6 +34,20 @@ namespace bench {
 
 /** Corpus size: CHASON_CORPUS env var, default 800. */
 std::size_t corpusSize();
+
+/** Worker count: CHASON_JOBS env var, default hardware threads. */
+unsigned jobCount();
+
+/** The process-wide batch engine behind every helper below. */
+core::BatchEngine &sharedBatch();
+
+/**
+ * Run body(0) .. body(n-1) on the shared batch engine's pool and wait.
+ * Bodies typically fill slot i of a pre-sized result vector, keeping
+ * bench output byte-identical for any CHASON_JOBS value.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
 
 /** Print the standard bench header naming the experiment. */
 void printHeader(const std::string &experiment,

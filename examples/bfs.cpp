@@ -88,7 +88,7 @@ main(int argc, char **argv)
     const sparse::CsrMatrix adj_t = adj.transpose();
 
     core::Engine engine(core::Engine::Kind::Chason);
-    core::ScheduleCache cache(engine, 2);
+    core::ScheduleCache cache;
 
     std::vector<int> level(nodes, -1);
     std::vector<float> frontier(nodes, 0.0f);
@@ -101,8 +101,8 @@ main(int argc, char **argv)
     while (true) {
         std::vector<float> reached;
         accel_ms += engine
-                        .runScheduled(cache.get(adj_t), adj_t, frontier,
-                                      "bfs", &reached)
+                        .runScheduled(*cache.get(engine, adj_t), adj_t,
+                                      frontier, "bfs", &reached)
                         .latencyMs;
         // Host-side cross-check through the CSC transposed kernel.
         const std::vector<float> host = csc.spmvTransposed(frontier);
@@ -137,10 +137,11 @@ main(int argc, char **argv)
     std::printf("visited %u/%u vertices in %d levels; mismatches vs CPU "
                 "BFS: %u\n",
                 visited, nodes, depth, mismatches);
+    const core::ScheduleCacheStats stats = cache.stats();
     std::printf("schedule cache: %llu hits / %llu misses; modelled "
                 "accelerator time %.3f ms\n",
-                static_cast<unsigned long long>(cache.hits()),
-                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
                 accel_ms);
     return mismatches == 0 ? 0 : 1;
 }

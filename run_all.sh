@@ -9,6 +9,13 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Concurrency tests again under ThreadSanitizer (batch engine, schedule
+# cache, thread pool, RNG streams).
+cmake -B build-tsan -G Ninja -DCHASON_TSAN=ON
+cmake --build build-tsan --target test_batch_engine test_schedule_cache test_rng
+ctest --test-dir build-tsan -R 'test_(batch_engine|schedule_cache|rng)' \
+    --output-on-failure 2>&1 | tee -a test_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

@@ -144,4 +144,17 @@ Rng::split()
     return Rng(next() ^ 0xa0761d6478bd642full);
 }
 
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Decorrelate seed and stream through separate SplitMix64 walks so
+    // that neither adjacent seeds nor adjacent stream indices produce
+    // related states.
+    std::uint64_t state = seed;
+    const std::uint64_t a = splitMix64(state);
+    state ^= stream * 0x9e3779b97f4a7c15ull;
+    const std::uint64_t b = splitMix64(state);
+    return Rng(a ^ b);
+}
+
 } // namespace chason

@@ -6,6 +6,16 @@
  * by a seeded Rng so that runs are bit-for-bit reproducible. The generator
  * is xoshiro256** seeded through SplitMix64, which is both fast and has
  * well-studied statistical quality.
+ *
+ * Determinism rule for concurrent code (core::BatchEngine, the bench
+ * parallelFor loops): there is deliberately no process-global generator
+ * in this module, and none may be introduced. Each job/worker derives a
+ * private Rng from stable inputs — its own seed field, or
+ * forStream(baseSeed, jobIndex) — never by drawing from a stream shared
+ * across jobs, whose interleaving would depend on thread timing. Under
+ * this rule, the same seed and the same job set produce bit-identical
+ * results for any worker count (`--jobs N` == `--jobs 1`), which
+ * tests/core/test_batch_engine.cc asserts.
  */
 
 #ifndef CHASON_COMMON_RNG_H_
@@ -68,6 +78,15 @@ class Rng
 
     /** Fork an independent stream (deterministic function of this one). */
     Rng split();
+
+    /**
+     * An independent generator for job @p stream of a run seeded with
+     * @p seed — the shared-nothing per-worker construction of the
+     * determinism rule above. Pure function of its arguments:
+     * forStream(s, i) is the same generator on every thread, every
+     * run, every worker count.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Batch engine implementation.
+ */
+
+#include "core/batch_engine.h"
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace core {
+
+BatchEngine::BatchEngine(BatchOptions options)
+    : cache_(options.cacheBudgetBytes), pool_(options.workers)
+{
+}
+
+BatchEngine::~BatchEngine() = default;
+
+std::size_t
+BatchEngine::submit(BatchJob job)
+{
+    std::size_t index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        index = jobs_.size();
+        jobs_.push_back(std::move(job));
+        reports_.emplace_back();
+    }
+    pool_.post([this, index] { runJob(index); });
+    return index;
+}
+
+void
+BatchEngine::runJob(std::size_t index)
+{
+    const BatchJob *job;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Deque elements are address-stable under push_back, so the
+        // pointer stays valid while further jobs are submitted.
+        job = &jobs_[index];
+    }
+
+    const Engine engine(job->kind, job->config);
+    Rng rng(job->xSeed);
+    const std::vector<float> x =
+        sparse::randomVector(job->matrix.cols(), rng);
+    const auto schedule = cache_.get(engine, job->matrix);
+    SpmvReport report =
+        engine.runScheduled(*schedule, job->matrix, x, job->dataset);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_[index] = std::move(report);
+}
+
+BatchReport
+BatchEngine::drain()
+{
+    pool_.wait();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    BatchReport batch;
+    batch.reports.assign(std::make_move_iterator(reports_.begin()),
+                         std::make_move_iterator(reports_.end()));
+    batch.cache = cache_.stats();
+    batch.jobs = batch.reports.size();
+    batch.workers = pool_.workers();
+    jobs_.clear();
+    reports_.clear();
+    return batch;
+}
+
+void
+BatchEngine::parallelFor(std::size_t n,
+                         const std::function<void(std::size_t)> &body)
+{
+    pool_.parallelFor(n, body);
+}
+
+SpmvReport
+BatchEngine::run(const Engine &engine, const sparse::CsrMatrix &a,
+                 const std::vector<float> &x, const std::string &dataset,
+                 std::vector<float> *y_out, const arch::SpmvParams &params)
+{
+    const auto schedule = cache_.get(engine, a);
+    return engine.runScheduled(*schedule, a, x, dataset, y_out, params);
+}
+
+Comparison
+BatchEngine::compare(const sparse::CsrMatrix &a,
+                     const std::vector<float> &x,
+                     const std::string &dataset,
+                     const arch::ArchConfig &config)
+{
+    Comparison cmp;
+    cmp.chason = run(Engine(Engine::Kind::Chason, config), a, x, dataset);
+    cmp.serpens = run(Engine(Engine::Kind::Serpens, config), a, x, dataset);
+    return cmp;
+}
+
+} // namespace core
+} // namespace chason

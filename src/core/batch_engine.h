@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Parallel batch execution engine.
+ *
+ * BatchEngine runs many independent (matrix, config) SpMV jobs across
+ * a worker thread pool, with every offline scheduling request funneled
+ * through one shared ScheduleCache: repeated matrices across sweep
+ * points, ablation legs or engine consumers skip rescheduling
+ * entirely. Results land in a thread-safe report aggregated in
+ * submission order, so batch output is independent of worker
+ * interleaving.
+ *
+ * Determinism rule (see also common/rng.h): every job derives its
+ * inputs from its *own* seed (BatchJob::xSeed), never from a stream
+ * shared across jobs, and scheduling/simulation are deterministic pure
+ * functions — so the same seed and the same job set produce
+ * bit-identical reports for any worker count. tests/core/
+ * test_batch_engine.cc asserts this.
+ *
+ * Thread safety: submit(), drain(), schedule(), run(), compare() and
+ * parallelFor() may be called from any thread. The cache-backed
+ * helpers (schedule/run/compare) are also safe from *inside* pool
+ * tasks — parallelFor bodies use them to share schedules — but
+ * drain()/parallelFor() themselves must only be called from outside
+ * the pool (they block on it).
+ */
+
+#ifndef CHASON_CORE_BATCH_ENGINE_H_
+#define CHASON_CORE_BATCH_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/schedule_cache.h"
+#include "core/thread_pool.h"
+
+namespace chason {
+namespace core {
+
+/** Pool and cache sizing. */
+struct BatchOptions
+{
+    /** Worker threads; 0 selects ThreadPool::defaultWorkers(). */
+    unsigned workers = 0;
+
+    /** Schedule-cache byte budget. */
+    std::size_t cacheBudgetBytes = ScheduleCache::kDefaultBudgetBytes;
+};
+
+/** One self-contained unit of batch work. */
+struct BatchJob
+{
+    std::string dataset;     ///< label copied into the report
+    sparse::CsrMatrix matrix;
+    Engine::Kind kind = Engine::Kind::Chason;
+    arch::ArchConfig config = {};
+
+    /** Seeds this job's dense input vector x (job-private stream). */
+    std::uint64_t xSeed = 0x57EE9;
+};
+
+/** What drain() returns: per-job reports plus batch-level accounting. */
+struct BatchReport
+{
+    /** One report per submitted job, in submission order. */
+    std::vector<SpmvReport> reports;
+
+    /** Cache counters at drain time. */
+    ScheduleCacheStats cache;
+
+    /** Jobs executed by this drain. */
+    std::size_t jobs = 0;
+
+    /** Workers that served the batch. */
+    unsigned workers = 0;
+};
+
+/** Thread-pool-backed batch scheduler/simulator with a shared cache. */
+class BatchEngine
+{
+  public:
+    explicit BatchEngine(BatchOptions options = {});
+    ~BatchEngine();
+
+    BatchEngine(const BatchEngine &) = delete;
+    BatchEngine &operator=(const BatchEngine &) = delete;
+
+    unsigned workers() const { return pool_.workers(); }
+    ScheduleCache &cache() { return cache_; }
+    const ScheduleCache &cache() const { return cache_; }
+    ThreadPool &pool() { return pool_; }
+
+    /**
+     * Enqueue @p job for execution; returns its index in
+     * BatchReport::reports. Execution starts immediately on a free
+     * worker.
+     */
+    std::size_t submit(BatchJob job);
+
+    /**
+     * Block until every submitted job has finished and return the
+     * aggregated report. Jobs submitted after drain() begin a new
+     * batch (indices restart at 0).
+     */
+    BatchReport drain();
+
+    /**
+     * Run body(0) .. body(n-1) on the worker pool and block until all
+     * finish — for tools whose per-item work does not fit BatchJob
+     * (comparisons, DSE points). Bodies may use the cache-backed
+     * helpers below.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Cache-backed Engine::schedule (thread-safe). */
+    std::shared_ptr<const sched::Schedule>
+    schedule(const Engine &engine, const sparse::CsrMatrix &a)
+    {
+        return cache_.get(engine, a);
+    }
+
+    /** Cache-backed Engine::run (thread-safe). */
+    SpmvReport run(const Engine &engine, const sparse::CsrMatrix &a,
+                   const std::vector<float> &x,
+                   const std::string &dataset = "",
+                   std::vector<float> *y_out = nullptr,
+                   const arch::SpmvParams &params = {});
+
+    /** Cache-backed core::compare (thread-safe). */
+    Comparison compare(const sparse::CsrMatrix &a,
+                       const std::vector<float> &x,
+                       const std::string &dataset = "",
+                       const arch::ArchConfig &config = {});
+
+  private:
+    void runJob(std::size_t index);
+
+    ScheduleCache cache_;
+    std::mutex mutex_; ///< guards jobs_ and reports_
+    // Deques: submit() must not move elements a worker still reads.
+    std::deque<BatchJob> jobs_;
+    std::deque<SpmvReport> reports_;
+    ThreadPool pool_; ///< last member: joins before state tears down
+};
+
+} // namespace core
+} // namespace chason
+
+#endif // CHASON_CORE_BATCH_ENGINE_H_

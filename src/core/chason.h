@@ -14,10 +14,12 @@
 #include "arch/serpens_accel.h"      // IWYU pragma: export
 #include "baselines/cpu_spmv.h"      // IWYU pragma: export
 #include "baselines/device_models.h" // IWYU pragma: export
+#include "core/batch_engine.h"       // IWYU pragma: export
 #include "core/engine.h"             // IWYU pragma: export
 #include "core/report_json.h"        // IWYU pragma: export
 #include "core/schedule_cache.h"     // IWYU pragma: export
 #include "core/spmm.h"               // IWYU pragma: export
+#include "core/thread_pool.h"        // IWYU pragma: export
 #include "sched/analyzer.h"          // IWYU pragma: export
 #include "sched/crhcs.h"             // IWYU pragma: export
 #include "sched/pe_aware.h"          // IWYU pragma: export

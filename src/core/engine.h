@@ -34,7 +34,13 @@
 namespace chason {
 namespace core {
 
-/** Everything the evaluation section reports about one SpMV run. */
+/**
+ * Everything the evaluation section reports about one SpMV run.
+ *
+ * Units: `cycles` counts *kernel clock cycles* at `frequencyMhz`;
+ * `latencyMs` is wall milliseconds derived from them. Throughput and
+ * efficiency fields follow the paper's Eqs. 5-7.
+ */
 struct SpmvReport
 {
     std::string accelerator; ///< "chason" or "serpens"
@@ -45,10 +51,10 @@ struct SpmvReport
     std::size_t nnz = 0;
 
     double frequencyMhz = 0.0;
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0; ///< kernel cycles at frequencyMhz
     arch::CycleBreakdown cycleBreakdown;
 
-    double latencyMs = 0.0;
+    double latencyMs = 0.0; ///< wall milliseconds (cycles / clock)
     double gflops = 0.0;              ///< Eq. 5
     double powerW = 0.0;              ///< measured wall power
     double energyEfficiency = 0.0;    ///< Eq. 6, GFLOPS/W
@@ -64,7 +70,15 @@ struct SpmvReport
     double functionalError = 0.0;
 };
 
-/** One-stop SpMV engine: scheduler + datapath + metrics. */
+/**
+ * One-stop SpMV engine: scheduler + datapath + metrics.
+ *
+ * Thread safety: an Engine is immutable after construction and every
+ * member function is const, deterministic and reentrant — one Engine
+ * (or many, they are cheap) may be used from any number of threads.
+ * For batches of runs, prefer core::BatchEngine, which adds a worker
+ * pool and a shared schedule cache on top of this class.
+ */
 class Engine
 {
   public:

@@ -199,6 +199,21 @@ toJson(const sched::ScheduleStats &stats)
 }
 
 std::string
+toJson(const ScheduleCacheStats &stats)
+{
+    JsonObject obj;
+    obj.field("hits", stats.hits)
+        .field("misses", stats.misses)
+        .field("hit_rate", stats.hitRate())
+        .field("evictions", stats.evictions)
+        .field("entries", static_cast<std::uint64_t>(stats.entries))
+        .field("bytes", static_cast<std::uint64_t>(stats.bytes))
+        .field("budget_bytes",
+               static_cast<std::uint64_t>(stats.budgetBytes));
+    return obj.str();
+}
+
+std::string
 toJson(const Comparison &comparison)
 {
     JsonObject obj;

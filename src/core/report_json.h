@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/schedule_cache.h"
 #include "core/spmm.h"
 #include "sched/analyzer.h"
 
@@ -30,6 +31,9 @@ std::string toJson(const SpmmReport &report);
 
 /** Schedule statistics as a JSON object. */
 std::string toJson(const sched::ScheduleStats &stats);
+
+/** Schedule-cache counters as a JSON object. */
+std::string toJson(const ScheduleCacheStats &stats);
 
 /** A Chasoň/Serpens comparison as a JSON object. */
 std::string toJson(const Comparison &comparison);

@@ -47,37 +47,125 @@ fingerprint(const sparse::CsrMatrix &a)
     return fp;
 }
 
-ScheduleCache::ScheduleCache(const Engine &engine, std::size_t capacity)
-    : engine_(engine), capacity_(capacity)
+ScheduleKey
+scheduleKey(const sched::Scheduler &scheduler, const sparse::CsrMatrix &a)
 {
-    chason_assert(capacity_ >= 1, "cache needs capacity for one entry");
+    std::uint64_t h = kFnvOffsetA;
+    for (const char c : scheduler.name())
+        mix(h, static_cast<unsigned char>(c));
+    const sched::SchedConfig &cfg = scheduler.config();
+    mix(h, cfg.channels);
+    mix(h, static_cast<std::uint64_t>(cfg.precision));
+    mix(h, cfg.pesOverride);
+    mix(h, cfg.rawDistance);
+    mix(h, cfg.windowCols);
+    mix(h, cfg.rowsPerLanePerPass);
+    mix(h, cfg.migrationDepth);
+    return ScheduleKey{fingerprint(a), h};
 }
 
-const sched::Schedule &
-ScheduleCache::get(const sparse::CsrMatrix &a)
+ScheduleCache::ScheduleCache(std::size_t budget_bytes)
+    : budgetBytes_(budget_bytes)
 {
-    const MatrixFingerprint key = fingerprint(a);
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-        if (it->key == key) {
+    chason_assert(budgetBytes_ >= 1, "cache needs a positive byte budget");
+}
+
+std::shared_ptr<const sched::Schedule>
+ScheduleCache::get(const sched::Scheduler &scheduler,
+                   const sparse::CsrMatrix &a)
+{
+    const ScheduleKey key = scheduleKey(scheduler, a);
+
+    std::promise<SchedulePtr> promise;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // Resident or in flight: either way the scheduling work is
+            // amortized, so both count as hits.
             ++hits_;
-            entries_.splice(entries_.begin(), entries_, it);
-            return entries_.front().schedule;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            std::shared_future<SchedulePtr> future = it->second.future;
+            lock.unlock();
+            return future.get();
         }
+
+        ++misses_;
+        Entry entry;
+        entry.future = promise.get_future().share();
+        lru_.push_front(key);
+        entry.lruIt = lru_.begin();
+        entries_.emplace(key, std::move(entry));
     }
 
-    ++misses_;
-    if (entries_.size() >= capacity_) {
-        entries_.pop_back();
+    // Schedule outside the lock: this is the expensive part and the
+    // whole point of running jobs concurrently.
+    auto schedule = std::make_shared<const sched::Schedule>(
+        scheduler.schedule(a));
+    const std::size_t bytes = schedule->memoryBytes();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        // clear() may have dropped the pending entry; then the result
+        // is handed to waiters but no longer cached.
+        if (it != entries_.end() && !it->second.ready) {
+            it->second.ready = true;
+            it->second.bytes = bytes;
+            residentBytes_ += bytes;
+            enforceBudgetLocked();
+        }
+    }
+    promise.set_value(schedule);
+    return schedule;
+}
+
+void
+ScheduleCache::enforceBudgetLocked()
+{
+    auto it = lru_.end();
+    while (residentBytes_ > budgetBytes_ && it != lru_.begin()) {
+        --it;
+        if (it == lru_.begin())
+            break; // always keep the most recently used entry
+        const auto entryIt = entries_.find(*it);
+        chason_assert(entryIt != entries_.end(), "LRU/map out of sync");
+        if (!entryIt->second.ready)
+            continue; // in flight: bytes unknown, cannot evict
+        residentBytes_ -= entryIt->second.bytes;
+        it = lru_.erase(it);
+        entries_.erase(entryIt);
         ++evictions_;
     }
-    entries_.push_front(Entry{key, engine_.schedule(a)});
-    return entries_.front().schedule;
+}
+
+ScheduleCacheStats
+ScheduleCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ScheduleCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = entries_.size();
+    s.bytes = residentBytes_;
+    s.budgetBytes = budgetBytes_;
+    return s;
 }
 
 void
 ScheduleCache::clear()
 {
-    entries_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.ready) {
+            lru_.erase(it->second.lruIt);
+            it = entries_.erase(it);
+        } else {
+            ++it; // in flight: the filling thread still owns it
+        }
+    }
+    residentBytes_ = 0;
 }
 
 } // namespace core

@@ -1,19 +1,33 @@
 /**
  * @file
- * LRU cache of offline schedules.
+ * Concurrent LRU cache of offline schedules.
  *
- * CrHCS scheduling is host-side preprocessing; iterative applications
+ * CrHCS scheduling is host-side preprocessing and by far the dominant
+ * offline cost (see bench_preprocessing_cost): iterative applications
  * (PageRank, CG, GNN layers) reuse one schedule across thousands of
- * runs, and services multiplexing several matrices want to keep the hot
- * ones resident. ScheduleCache keys schedules by a structural+value
- * fingerprint of the matrix and evicts least-recently-used entries.
+ * runs, sweeps revisit the same matrix under several consumers, and
+ * services multiplexing several matrices want to keep the hot ones
+ * resident. ScheduleCache keys schedules by a structural+value
+ * fingerprint of the matrix *combined with the scheduler's identity
+ * and configuration*, holds them behind shared ownership, and evicts
+ * least-recently-used entries once a byte budget is exceeded.
+ *
+ * Thread safety: every member function may be called concurrently
+ * from any number of threads. Concurrent misses on the *same* key are
+ * coalesced — exactly one thread schedules, the others block on the
+ * result and are counted as hits (the work was amortized). Returned
+ * schedules are immutable and shared: eviction never invalidates a
+ * shared_ptr a caller still holds.
  */
 
 #ifndef CHASON_CORE_SCHEDULE_CACHE_H_
 #define CHASON_CORE_SCHEDULE_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/engine.h"
@@ -34,44 +48,111 @@ struct MatrixFingerprint
 /** Fingerprint a CSR matrix: dimensions, structure and values. */
 MatrixFingerprint fingerprint(const sparse::CsrMatrix &a);
 
-/** LRU schedule cache in front of one Engine's scheduler. */
+/**
+ * Cache key: which matrix, scheduled by which algorithm under which
+ * geometry. Two engines with identical scheduler configurations share
+ * entries; changing any SchedConfig field (or the algorithm) misses.
+ */
+struct ScheduleKey
+{
+    MatrixFingerprint matrix;
+    std::uint64_t scheduler = 0; ///< hash of algorithm name + config
+
+    friend bool operator==(const ScheduleKey &,
+                           const ScheduleKey &) = default;
+};
+
+/** Key for @p scheduler applied to @p a. */
+ScheduleKey scheduleKey(const sched::Scheduler &scheduler,
+                        const sparse::CsrMatrix &a);
+
+/** Counter snapshot; taken atomically with respect to cache updates. */
+struct ScheduleCacheStats
+{
+    std::uint64_t hits = 0;      ///< resident or in-flight on lookup
+    std::uint64_t misses = 0;    ///< lookups that had to schedule
+    std::uint64_t evictions = 0; ///< entries dropped for the budget
+    std::size_t entries = 0;     ///< resident schedules
+    std::size_t bytes = 0;       ///< resident schedule bytes
+    std::size_t budgetBytes = 0; ///< configured byte budget
+
+    /** hits / (hits + misses); 0 when the cache is untouched. */
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/** Concurrent LRU schedule cache with a byte budget. */
 class ScheduleCache
 {
   public:
-    /**
-     * @param engine   the engine whose scheduler fills misses; must
-     *                 outlive the cache
-     * @param capacity max resident schedules (>= 1)
-     */
-    ScheduleCache(const Engine &engine, std::size_t capacity = 8);
+    /** Default budget: 512 MiB of resident schedules. */
+    static constexpr std::size_t kDefaultBudgetBytes =
+        std::size_t{512} << 20;
 
     /**
-     * The schedule for @p a: cached if fingerprints match, freshly
-     * scheduled (and cached) otherwise. The reference stays valid until
-     * the entry is evicted — at most `capacity - 1` further get() calls
-     * with distinct matrices.
+     * @param budget_bytes resident-byte budget (>= 1). The most
+     *        recently inserted entry is always admitted, even when it
+     *        alone exceeds the budget — a cache that cannot hold the
+     *        working entry would silently degrade to rescheduling.
      */
-    const sched::Schedule &get(const sparse::CsrMatrix &a);
+    explicit ScheduleCache(std::size_t budget_bytes = kDefaultBudgetBytes);
 
-    std::size_t size() const { return entries_.size(); }
-    std::size_t capacity() const { return capacity_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
-    std::uint64_t evictions() const { return evictions_; }
+    /**
+     * The schedule @p scheduler produces for @p a: resident if the key
+     * matches, freshly scheduled (and cached) otherwise. Blocks only
+     * when another thread is already scheduling the same key.
+     */
+    std::shared_ptr<const sched::Schedule>
+    get(const sched::Scheduler &scheduler, const sparse::CsrMatrix &a);
 
-    /** Drop everything (counters are kept). */
+    /** Convenience overload: @p engine's scheduler fills misses. */
+    std::shared_ptr<const sched::Schedule>
+    get(const Engine &engine, const sparse::CsrMatrix &a)
+    {
+        return get(engine.scheduler(), a);
+    }
+
+    /** Atomic snapshot of all counters. */
+    ScheduleCacheStats stats() const;
+
+    /** Drop every resident entry (counters are kept). */
     void clear();
 
   private:
-    struct Entry
+    struct KeyHash
     {
-        MatrixFingerprint key;
-        sched::Schedule schedule;
+        std::size_t operator()(const ScheduleKey &key) const
+        {
+            // The fingerprint words are already well mixed.
+            return static_cast<std::size_t>(
+                key.matrix.lo ^ (key.matrix.hi >> 1) ^ key.scheduler);
+        }
     };
 
-    const Engine &engine_;
-    std::size_t capacity_;
-    std::list<Entry> entries_; // front = most recently used
+    using SchedulePtr = std::shared_ptr<const sched::Schedule>;
+
+    struct Entry
+    {
+        /** Set once by the filling thread; waited on by the others. */
+        std::shared_future<SchedulePtr> future;
+        std::size_t bytes = 0; ///< 0 while scheduling is in flight
+        bool ready = false;
+        std::list<ScheduleKey>::iterator lruIt;
+    };
+
+    /** Evict ready LRU entries until the budget holds. Lock held. */
+    void enforceBudgetLocked();
+
+    mutable std::mutex mutex_;
+    std::size_t budgetBytes_;
+    std::size_t residentBytes_ = 0;
+    std::list<ScheduleKey> lru_; // front = most recently used
+    std::unordered_map<ScheduleKey, Entry, KeyHash> entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "core/thread_pool.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace core {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    chason_assert(static_cast<bool>(task), "cannot post an empty task");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        chason_assert(!stopping_, "cannot post to a stopping pool");
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    struct Latch
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining;
+    };
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = n;
+
+    // `body` is captured by reference: parallelFor blocks until every
+    // task has run, so the referent outlives all of them.
+    for (std::size_t i = 0; i < n; ++i) {
+        post([latch, &body, i] {
+            body(i);
+            std::lock_guard<std::mutex> lock(latch->mutex);
+            if (--latch->remaining == 0)
+                latch->done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(latch->mutex);
+    latch->done.wait(lock, [&latch] { return latch->remaining == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (!queue_.empty()) {
+            std::function<void()> task = std::move(queue_.front());
+            queue_.pop_front();
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        } else if (stopping_) {
+            return;
+        } else {
+            workReady_.wait(lock);
+        }
+    }
+}
+
+} // namespace core
+} // namespace chason

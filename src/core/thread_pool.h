@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for host-side batch work.
+ *
+ * The pool backs core::BatchEngine: offline scheduling and cycle-level
+ * simulation of independent (matrix, config) jobs are embarrassingly
+ * parallel, so a plain FIFO queue drained by N workers is all the
+ * machinery needed. Tasks must not throw (schedulers and simulators
+ * panic via chason_fatal instead); a task that escapes with an
+ * exception terminates the process, which is the intended
+ * fail-fast behaviour of the harness.
+ *
+ * Thread safety: post(), wait() and parallelFor() may be called from
+ * any thread, including concurrently. Tasks themselves may post
+ * further tasks, but must not call wait() (a worker waiting for the
+ * queue it is supposed to drain deadlocks once all workers do it).
+ */
+
+#ifndef CHASON_CORE_THREAD_POOL_H_
+#define CHASON_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chason {
+namespace core {
+
+/** FIFO pool of worker threads; joins on destruction. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers worker-thread count; 0 selects defaultWorkers().
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains outstanding tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads actually running. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Enqueue one task for execution on some worker. */
+    void post(std::function<void()> task);
+
+    /** Block until every task posted so far has finished. */
+    void wait();
+
+    /**
+     * Run body(0) .. body(n-1) on the pool and block until all have
+     * finished (only those n tasks are waited for, so parallelFor can
+     * be used while unrelated tasks are in flight). With one worker
+     * the calls execute in index order — a `--jobs 1` run is therefore
+     * sequentially identical to the old serial tools. Like wait(),
+     * must not be called from inside a pool task.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** hardware_concurrency clamped to at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop();
+    bool runOneTask(std::unique_lock<std::mutex> &lock);
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0; ///< queued + currently executing
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace core
+} // namespace chason
+
+#endif // CHASON_CORE_THREAD_POOL_H_

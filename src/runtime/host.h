@@ -41,7 +41,14 @@ struct HostPlatform
     double dmaUs(std::uint64_t bytes) const;
 };
 
-/** End-to-end cost breakdown of an amortized measurement run. */
+/**
+ * End-to-end cost breakdown of an amortized measurement run.
+ *
+ * Units are in the field names: *Ms fields are wall milliseconds, *Us
+ * fields wall microseconds (kernel cycles have already been converted
+ * through the datapath clock by the estimator). Pure data + const
+ * accessors: safe to build and read from concurrent batch workers.
+ */
 struct EndToEndReport
 {
     unsigned iterations = 0;
@@ -76,6 +83,11 @@ struct EndToEndReport
 /**
  * One prepared accelerator session: a schedule resident in HBM plus the
  * host-side cost model.
+ *
+ * Immutable after construction; measure() is const and deterministic,
+ * so a session may be shared across batch workers — chason_sweep's
+ * per-matrix end-to-end section calls it from the core::BatchEngine
+ * pool against cache-resident schedules.
  */
 class HostSession
 {

@@ -21,7 +21,14 @@
 namespace chason {
 namespace sched {
 
-/** Aggregate statistics of one schedule. */
+/**
+ * Aggregate statistics of one schedule.
+ *
+ * Units: slot/beat counts are *kernel clock cycles* (one beat is
+ * streamed per channel per cycle at II=1), not wall time; convert via
+ * the accelerator's frequencyMhz(). Byte counts are bytes on the HBM
+ * wire (64 B per beat). analyze() is a pure function and thread-safe.
+ */
 struct ScheduleStats
 {
     std::size_t nnz = 0;          ///< valid slots across all phases

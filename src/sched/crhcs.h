@@ -53,7 +53,12 @@ enum class MigrationStrategy
     SequentialGreedy, ///< Fig. 5's channel-by-channel reading
 };
 
-/** The paper's cross-channel scheduler. */
+/**
+ * The paper's cross-channel scheduler. Honors the full Scheduler
+ * contract: schedule() is pure, reentrant and thread-safe, and the
+ * chosen MigrationStrategy is part of name() so cached CrHCS and
+ * sequential-greedy schedules never alias in core::ScheduleCache.
+ */
 class CrhcsScheduler : public Scheduler
 {
   public:

@@ -18,7 +18,10 @@
 namespace chason {
 namespace sched {
 
-/** Serpens' intra-channel out-of-order scheduler. */
+/**
+ * Serpens' intra-channel out-of-order scheduler. Honors the full
+ * Scheduler contract: schedule() is pure, reentrant and thread-safe.
+ */
 class PeAwareScheduler : public Scheduler
 {
   public:

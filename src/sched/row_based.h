@@ -17,7 +17,10 @@
 namespace chason {
 namespace sched {
 
-/** In-order, one-row-at-a-time scheduler. */
+/**
+ * In-order, one-row-at-a-time scheduler. Honors the full Scheduler
+ * contract: schedule() is pure, reentrant and thread-safe.
+ */
 class RowBasedScheduler : public Scheduler
 {
   public:

@@ -58,6 +58,19 @@ Schedule::totalAlignedBeats() const
     return total;
 }
 
+std::size_t
+Schedule::memoryBytes() const
+{
+    std::size_t bytes = sizeof(Schedule);
+    for (const WindowSchedule &phase : phases) {
+        bytes += sizeof(WindowSchedule);
+        for (const ChannelWindowSchedule &ch : phase.channels)
+            bytes += sizeof(ChannelWindowSchedule) +
+                ch.beats.capacity() * sizeof(Beat);
+    }
+    return bytes;
+}
+
 std::uint32_t
 Schedule::windowsPerPass() const
 {

@@ -95,6 +95,14 @@ struct Schedule
     /** Sum of alignedBeats over all phases. */
     std::size_t totalAlignedBeats() const;
 
+    /**
+     * Approximate resident size in bytes (struct overhead + beat
+     * storage). Used by core::ScheduleCache to enforce its byte
+     * budget; distinct from scheduleArtifactBytes(), which sizes the
+     * *wire* artifact DMA'd to the device.
+     */
+    std::size_t memoryBytes() const;
+
     /** Column windows per pass. */
     std::uint32_t windowsPerPass() const;
 

@@ -23,7 +23,22 @@
 namespace chason {
 namespace sched {
 
-/** Base class for the offline non-zero schedulers. */
+/**
+ * Base class for the offline non-zero schedulers.
+ *
+ * Contract for every implementation:
+ *  - schedule() is a *pure function* of (config, matrix): it touches no
+ *    global or mutable member state, draws no randomness, and returns a
+ *    bit-identical Schedule on every call — the property the schedule
+ *    cache's content-addressed keying and the batch engine's
+ *    determinism guarantee are built on;
+ *  - schedule() is const, reentrant and thread-safe: one scheduler
+ *    instance may serve any number of threads concurrently
+ *    (core::BatchEngine workers do exactly this);
+ *  - the result places every matrix non-zero exactly once, carries
+ *    correct lane tags, and respects the RAW distance on every
+ *    physical URAM bank (sched::validateSchedule enforces this).
+ */
 class Scheduler
 {
   public:
@@ -34,10 +49,10 @@ class Scheduler
 
     virtual ~Scheduler() = default;
 
-    /** Algorithm name for reports. */
+    /** Algorithm name for reports (also part of the cache key). */
     virtual std::string name() const = 0;
 
-    /** Produce a schedule for @p matrix. */
+    /** Produce a schedule for @p matrix (pure; see class contract). */
     virtual Schedule schedule(const sparse::CsrMatrix &matrix) const = 0;
 
     const SchedConfig &config() const { return config_; }

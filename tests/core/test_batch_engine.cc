@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the thread pool and the batch execution engine: result
+ * ordering, cache accounting, and — the load-bearing guarantee —
+ * bit-identical results to the serial engine for any worker count.
+ */
+
+#include "core/batch_engine.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace core {
+namespace {
+
+arch::ArchConfig
+smallConfig()
+{
+    arch::ArchConfig cfg;
+    cfg.sched.channels = 4;
+    cfg.sched.pesOverride = 4;
+    cfg.sched.rawDistance = 4;
+    cfg.sched.windowCols = 128;
+    cfg.sched.rowsPerLanePerPass = 64;
+    return cfg;
+}
+
+sparse::CsrMatrix
+matrix(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return sparse::erdosRenyi(96, 96, 900, rng);
+}
+
+/** Every SpmvReport field must match bit for bit. */
+void
+expectIdentical(const SpmvReport &a, const SpmvReport &b)
+{
+    EXPECT_EQ(a.accelerator, b.accelerator);
+    EXPECT_EQ(a.dataset, b.dataset);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.cols, b.cols);
+    EXPECT_EQ(a.nnz, b.nnz);
+    EXPECT_EQ(a.frequencyMhz, b.frequencyMhz);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.latencyMs, b.latencyMs);
+    EXPECT_EQ(a.gflops, b.gflops);
+    EXPECT_EQ(a.powerW, b.powerW);
+    EXPECT_EQ(a.energyEfficiency, b.energyEfficiency);
+    EXPECT_EQ(a.bandwidthEfficiency, b.bandwidthEfficiency);
+    EXPECT_EQ(a.underutilizationPercent, b.underutilizationPercent);
+    EXPECT_EQ(a.perPegUnderutilization, b.perPegUnderutilization);
+    EXPECT_EQ(a.matrixStreamBytes, b.matrixStreamBytes);
+    EXPECT_EQ(a.totalBytes, b.totalBytes);
+    EXPECT_EQ(a.functionalError, b.functionalError);
+}
+
+BatchJob
+job(std::uint64_t matrixSeed, Engine::Kind kind, const std::string &tag)
+{
+    BatchJob j;
+    j.dataset = tag;
+    j.matrix = matrix(matrixSeed);
+    j.kind = kind;
+    j.config = smallConfig();
+    j.xSeed = 0xABC0 + matrixSeed;
+    return j;
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.parallelFor(kN, [&](std::size_t i) { ++counts[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, WaitDrainsPostedTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i)
+        pool.post([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(BatchEngine, ResultsBitIdenticalToSerialEngine)
+{
+    BatchOptions options;
+    options.workers = 4;
+    BatchEngine batch(options);
+
+    std::vector<BatchJob> jobs;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        jobs.push_back(job(seed, Engine::Kind::Chason, "c"));
+        jobs.push_back(job(seed, Engine::Kind::Serpens, "s"));
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(batch.submit(jobs[i]), i);
+    const BatchReport report = batch.drain();
+
+    ASSERT_EQ(report.reports.size(), jobs.size());
+    EXPECT_EQ(report.jobs, jobs.size());
+    EXPECT_EQ(report.workers, 4u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Engine engine(jobs[i].kind, jobs[i].config);
+        Rng rng(jobs[i].xSeed);
+        const std::vector<float> x =
+            sparse::randomVector(jobs[i].matrix.cols(), rng);
+        expectIdentical(report.reports[i],
+                        engine.run(jobs[i].matrix, x, jobs[i].dataset));
+    }
+}
+
+TEST(BatchEngine, SameSeedSameJobsAnyWorkerCount)
+{
+    auto runBatch = [](unsigned workers) {
+        BatchOptions options;
+        options.workers = workers;
+        BatchEngine batch(options);
+        for (std::uint64_t seed = 1; seed <= 6; ++seed)
+            batch.submit(job(seed, seed % 2 == 0
+                                       ? Engine::Kind::Chason
+                                       : Engine::Kind::Serpens,
+                             "m" + std::to_string(seed)));
+        return batch.drain();
+    };
+
+    const BatchReport serial = runBatch(1);
+    const BatchReport parallel = runBatch(4);
+    ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+    for (std::size_t i = 0; i < serial.reports.size(); ++i)
+        expectIdentical(serial.reports[i], parallel.reports[i]);
+
+    // The cache sees the same key set either way.
+    EXPECT_EQ(serial.cache.hits, parallel.cache.hits);
+    EXPECT_EQ(serial.cache.misses, parallel.cache.misses);
+}
+
+TEST(BatchEngine, DuplicateJobsHitTheSharedCache)
+{
+    BatchOptions options;
+    options.workers = 4;
+    BatchEngine batch(options);
+
+    // Three copies of the same (matrix, config) job plus one distinct.
+    for (int copy = 0; copy < 3; ++copy)
+        batch.submit(job(1, Engine::Kind::Chason, "dup"));
+    batch.submit(job(2, Engine::Kind::Chason, "other"));
+    const BatchReport report = batch.drain();
+
+    EXPECT_EQ(report.cache.misses, 2u); // one per distinct schedule
+    EXPECT_EQ(report.cache.hits, 2u);   // the duplicate copies
+    expectIdentical(report.reports[0], report.reports[1]);
+    expectIdentical(report.reports[1], report.reports[2]);
+}
+
+TEST(BatchEngine, DrainStartsAFreshBatch)
+{
+    BatchEngine batch(BatchOptions{2, ScheduleCache::kDefaultBudgetBytes});
+    batch.submit(job(1, Engine::Kind::Chason, "a"));
+    EXPECT_EQ(batch.drain().reports.size(), 1u);
+
+    // Indices restart; the cache carries over (same key: a hit).
+    EXPECT_EQ(batch.submit(job(1, Engine::Kind::Chason, "a")), 0u);
+    const BatchReport second = batch.drain();
+    EXPECT_EQ(second.reports.size(), 1u);
+    EXPECT_EQ(second.cache.hits, 1u);
+}
+
+TEST(BatchEngine, ParallelForSharesTheCache)
+{
+    BatchOptions options;
+    options.workers = 4;
+    BatchEngine batch(options);
+    const sparse::CsrMatrix a = matrix(3);
+
+    std::vector<std::shared_ptr<const sched::Schedule>> seen(8);
+    batch.parallelFor(seen.size(), [&](std::size_t i) {
+        const Engine engine(Engine::Kind::Chason, smallConfig());
+        seen[i] = batch.schedule(engine, a);
+    });
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_EQ(seen[0].get(), seen[i].get());
+    EXPECT_EQ(batch.cache().stats().misses, 1u);
+}
+
+} // namespace
+} // namespace core
+} // namespace chason

@@ -1,13 +1,19 @@
 /**
  * @file
- * Tests for the schedule cache.
+ * Tests for the concurrent schedule cache: keying, LRU byte budget,
+ * counters, and multi-threaded hammering on shared and distinct keys.
  */
 
 #include "core/schedule_cache.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sched/crhcs.h"
+#include "sched/pe_aware.h"
 #include "sparse/generators.h"
 
 namespace chason {
@@ -53,66 +59,187 @@ TEST(Fingerprint, DeterministicAndSensitive)
                  fingerprint(coo3.toCsr()));
 }
 
+TEST(ScheduleKeyTest, SchedulerIdentityAndConfigAreKeyed)
+{
+    const sparse::CsrMatrix a = matrix(1);
+    const sched::SchedConfig cfg = smallConfig().sched;
+
+    // Same scheduler + config + matrix: same key.
+    EXPECT_EQ(scheduleKey(sched::PeAwareScheduler(cfg), a),
+              scheduleKey(sched::PeAwareScheduler(cfg), a));
+
+    // Different algorithm on the same matrix: different key.
+    sched::SchedConfig crhcsCfg = cfg;
+    crhcsCfg.migrationDepth = 1;
+    EXPECT_FALSE(scheduleKey(sched::PeAwareScheduler(cfg), a) ==
+                 scheduleKey(sched::CrhcsScheduler(crhcsCfg), a));
+
+    // Different geometry: different key.
+    sched::SchedConfig wide = cfg;
+    wide.rawDistance = 8;
+    EXPECT_FALSE(scheduleKey(sched::PeAwareScheduler(cfg), a) ==
+                 scheduleKey(sched::PeAwareScheduler(wide), a));
+
+    // Different matrix: different key.
+    EXPECT_FALSE(scheduleKey(sched::PeAwareScheduler(cfg), a) ==
+                 scheduleKey(sched::PeAwareScheduler(cfg), matrix(2)));
+}
+
 TEST(ScheduleCache, HitsAfterFirstMiss)
 {
     Engine engine(Engine::Kind::Chason, smallConfig());
-    ScheduleCache cache(engine, 4);
+    ScheduleCache cache;
     const sparse::CsrMatrix a = matrix(3);
 
-    const sched::Schedule &first = cache.get(a);
-    EXPECT_EQ(cache.misses(), 1u);
-    EXPECT_EQ(cache.hits(), 0u);
-    const sched::Schedule &second = cache.get(a);
-    EXPECT_EQ(cache.hits(), 1u);
-    EXPECT_EQ(&first, &second); // same resident object
+    const auto first = cache.get(engine, a);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    const auto second = cache.get(engine, a);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(first.get(), second.get()); // same resident object
+    EXPECT_GT(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().bytes, first->memoryBytes());
 }
 
-TEST(ScheduleCache, EvictsLeastRecentlyUsed)
+TEST(ScheduleCache, EnginesWithEqualConfigShareEntries)
+{
+    Engine e1(Engine::Kind::Chason, smallConfig());
+    Engine e2(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache;
+    const sparse::CsrMatrix a = matrix(3);
+
+    cache.get(e1, a);
+    cache.get(e2, a);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // The Serpens engine schedules differently: separate entry.
+    Engine serpens(Engine::Kind::Serpens, smallConfig());
+    cache.get(serpens, a);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ScheduleCache, EvictsLeastRecentlyUsedOverByteBudget)
 {
     Engine engine(Engine::Kind::Serpens, smallConfig());
-    ScheduleCache cache(engine, 2);
     const sparse::CsrMatrix a = matrix(4);
     const sparse::CsrMatrix b = matrix(5);
-    const sparse::CsrMatrix c = matrix(6);
 
-    cache.get(a);
-    cache.get(b);
-    cache.get(a); // a is now most recent
-    cache.get(c); // evicts b
-    EXPECT_EQ(cache.evictions(), 1u);
-    EXPECT_EQ(cache.size(), 2u);
+    // Budget of exactly one schedule: inserting the second must evict
+    // the least recently used first, whatever b's exact size.
+    ScheduleCache probe;
+    const std::size_t one = probe.get(engine, a)->memoryBytes();
 
-    cache.get(a); // still resident
-    EXPECT_EQ(cache.hits(), 2u);
-    cache.get(b); // was evicted: miss again
-    EXPECT_EQ(cache.misses(), 4u);
+    ScheduleCache cache(one);
+    const auto sa = cache.get(engine, a);
+    cache.get(engine, b); // over budget: evicts a
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    // Shared ownership: the evicted schedule we still hold is intact.
+    EXPECT_EQ(sa->memoryBytes(), one);
+
+    cache.get(engine, b); // most recent: still resident
+    EXPECT_EQ(cache.stats().hits, 1u);
+    cache.get(engine, a); // was evicted: schedules again
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(ScheduleCache, OversizedEntryIsStillAdmitted)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache(1); // 1-byte budget: everything is oversized
+    const sparse::CsrMatrix a = matrix(6);
+
+    cache.get(engine, a);
+    EXPECT_EQ(cache.stats().entries, 1u); // MRU entry is never evicted
+    cache.get(engine, a);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ScheduleCache, ClearKeepsCounters)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache;
+    cache.get(engine, matrix(9));
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    cache.get(engine, matrix(9));
+    EXPECT_EQ(cache.stats().misses, 2u); // refilled after clear
 }
 
 TEST(ScheduleCache, CachedScheduleRunsCorrectly)
 {
     Engine engine(Engine::Kind::Chason, smallConfig());
-    ScheduleCache cache(engine, 2);
+    ScheduleCache cache;
     const sparse::CsrMatrix a = matrix(7);
     Rng rng(8);
     const std::vector<float> x = sparse::randomVector(a.cols(), rng);
 
     const SpmvReport direct = engine.run(a, x);
     const SpmvReport via_cache =
-        engine.runScheduled(cache.get(a), a, x);
+        engine.runScheduled(*cache.get(engine, a), a, x);
     EXPECT_EQ(direct.cycles, via_cache.cycles);
     EXPECT_LE(via_cache.functionalError, 1.0);
 }
 
-TEST(ScheduleCache, ClearKeepsCounters)
+TEST(ScheduleCache, ConcurrentSameKeyCoalescesToOneScheduling)
 {
     Engine engine(Engine::Kind::Chason, smallConfig());
-    ScheduleCache cache(engine, 2);
-    cache.get(matrix(9));
-    cache.clear();
-    EXPECT_EQ(cache.size(), 0u);
-    EXPECT_EQ(cache.misses(), 1u);
-    cache.get(matrix(9));
-    EXPECT_EQ(cache.misses(), 2u); // refilled after clear
+    ScheduleCache cache;
+    const sparse::CsrMatrix a = matrix(10);
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRounds = 16;
+    std::vector<std::shared_ptr<const sched::Schedule>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned r = 0; r < kRounds; ++r)
+                seen[t] = cache.get(engine, a);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    const ScheduleCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u); // exactly one thread scheduled
+    EXPECT_EQ(s.hits, kThreads * kRounds - 1u);
+    EXPECT_EQ(s.entries, 1u);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0].get(), seen[t].get());
+}
+
+TEST(ScheduleCache, ConcurrentDistinctKeysAllResident)
+{
+    Engine engine(Engine::Kind::Serpens, smallConfig());
+    ScheduleCache cache;
+
+    constexpr unsigned kThreads = 8;
+    std::vector<sparse::CsrMatrix> matrices;
+    for (unsigned t = 0; t < kThreads; ++t)
+        matrices.push_back(matrix(100 + t));
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Each thread first fills its own key, then hits the
+            // others' (or coalesces with their in-flight fill).
+            cache.get(engine, matrices[t]);
+            for (unsigned o = 0; o < kThreads; ++o)
+                cache.get(engine, matrices[o]);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    const ScheduleCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, kThreads);
+    EXPECT_EQ(s.hits, kThreads * (kThreads + 1) - kThreads);
+    EXPECT_EQ(s.entries, kThreads);
+    EXPECT_EQ(s.evictions, 0u);
 }
 
 } // namespace

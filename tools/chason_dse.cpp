@@ -7,7 +7,11 @@
  * closed-form estimator and the resource model, and prints the frontier:
  * latency vs URAM cost, with points that do not fit the U55c flagged.
  *
- * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D]
+ * Points are scheduled concurrently on a core::BatchEngine pool
+ * (scheduling dominates each point's cost); the point list, the sort
+ * and the printed table are independent of the worker count.
+ *
+ * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D] [--jobs N]
  */
 
 #include <algorithm>
@@ -35,6 +39,36 @@ struct DsePoint
     double underutil;
 };
 
+/** Evaluate one design point; schedules through the shared cache. */
+DsePoint
+evaluate(core::BatchEngine &batch, const sparse::CsrMatrix &a,
+         unsigned channels, unsigned pes, unsigned depth, unsigned scug,
+         unsigned raw)
+{
+    arch::ArchConfig cfg;
+    cfg.sched.channels = channels;
+    cfg.sched.pesOverride = pes;
+    cfg.sched.rawDistance = raw;
+    cfg.sched.migrationDepth = depth;
+    cfg.scugSize = scug;
+    cfg.sched.rowsPerLanePerPass = cfg.capacityRowsPerLane();
+
+    const std::shared_ptr<const sched::Schedule> sch = depth == 0
+        ? batch.cache().get(sched::PeAwareScheduler(cfg.sched), a)
+        : batch.cache().get(sched::CrhcsScheduler(cfg.sched), a);
+    const arch::DatapathKind kind = depth == 0
+        ? arch::DatapathKind::Serpens
+        : arch::DatapathKind::Chason;
+    const arch::FpgaResources res = depth == 0
+        ? arch::serpensResources(cfg)
+        : arch::chasonResources(cfg);
+
+    return {channels, pes, depth, scug,
+            arch::estimateLatencyUs(*sch, cfg, kind),
+            res.uram, res.fitsU55c(),
+            sched::analyze(*sch).underutilizationPercent};
+}
+
 } // namespace
 
 int
@@ -43,6 +77,7 @@ main(int argc, char **argv)
     std::string dataset = "MY";
     std::string mtx;
     unsigned raw = 10;
+    unsigned jobs = 0; // 0 = one worker per hardware thread
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--dataset" && i + 1 < argc) {
@@ -51,10 +86,12 @@ main(int argc, char **argv)
             mtx = argv[++i];
         } else if (arg == "--raw" && i + 1 < argc) {
             raw = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else {
             std::fprintf(stderr,
                          "usage: chason_dse [--dataset TAG | --mtx FILE] "
-                         "[--raw D]\n");
+                         "[--raw D] [--jobs N]\n");
             return 2;
         }
     }
@@ -65,41 +102,28 @@ main(int argc, char **argv)
     std::printf("design-space exploration for %s (raw distance %u)\n\n",
                 a.describe().c_str(), raw);
 
-    std::vector<DsePoint> points;
-    for (unsigned channels : {8u, 16u}) {
-        for (unsigned pes : {4u, 8u}) {
-            for (unsigned depth : {0u, 1u, 2u}) {
-                for (unsigned scug : {1u, 4u}) {
-                    if (scug > pes)
-                        continue;
-                    arch::ArchConfig cfg;
-                    cfg.sched.channels = channels;
-                    cfg.sched.pesOverride = pes;
-                    cfg.sched.rawDistance = raw;
-                    cfg.sched.migrationDepth = depth;
-                    cfg.scugSize = scug;
-                    cfg.sched.rowsPerLanePerPass =
-                        cfg.capacityRowsPerLane();
+    struct Knobs
+    {
+        unsigned channels, pes, depth, scug;
+    };
+    std::vector<Knobs> grid;
+    for (unsigned channels : {8u, 16u})
+        for (unsigned pes : {4u, 8u})
+            for (unsigned depth : {0u, 1u, 2u})
+                for (unsigned scug : {1u, 4u})
+                    if (scug <= pes)
+                        grid.push_back({channels, pes, depth, scug});
 
-                    const sched::Schedule sch = depth == 0
-                        ? sched::PeAwareScheduler(cfg.sched).schedule(a)
-                        : sched::CrhcsScheduler(cfg.sched).schedule(a);
-                    const arch::DatapathKind kind = depth == 0
-                        ? arch::DatapathKind::Serpens
-                        : arch::DatapathKind::Chason;
-                    const arch::FpgaResources res = depth == 0
-                        ? arch::serpensResources(cfg)
-                        : arch::chasonResources(cfg);
+    core::BatchOptions options;
+    options.workers = jobs;
+    core::BatchEngine batch(options);
 
-                    points.push_back(
-                        {channels, pes, depth, scug,
-                         arch::estimateLatencyUs(sch, cfg, kind),
-                         res.uram, res.fitsU55c(),
-                         sched::analyze(sch).underutilizationPercent});
-                }
-            }
-        }
-    }
+    std::vector<DsePoint> points(grid.size());
+    batch.parallelFor(grid.size(), [&](std::size_t i) {
+        const Knobs &k = grid[i];
+        points[i] =
+            evaluate(batch, a, k.channels, k.pes, k.depth, k.scug, raw);
+    });
 
     std::sort(points.begin(), points.end(),
               [](const DsePoint &a_, const DsePoint &b_) {

@@ -4,30 +4,80 @@
  * line per matrix (the machine-readable counterpart of the Fig. 11/14
  * benches, for plotting and regression tracking).
  *
+ * Matrices are scheduled and simulated concurrently on a
+ * core::BatchEngine worker pool; offline schedules are shared through
+ * its cache, so the per-matrix §5.2 end-to-end amortization section
+ * reuses the schedule the simulation already paid for. Per-matrix
+ * lines are buffered and emitted in corpus order, so they are
+ * byte-identical for any --jobs value. The trailing summary line
+ * reports the schedule-cache counters; those are deterministic as long
+ * as the corpus' schedules fit the cache budget — once the LRU starts
+ * evicting, eviction order (and therefore the hit/miss/eviction
+ * counts) depends on how concurrent workers interleave.
+ *
  * Usage:
  *   chason_sweep [--count N] [--table2] [--dozen] [--out FILE]
+ *                [--jobs N]
  *
- * Default: the first 100 sweep-corpus matrices to stdout.
+ * Default: the first 100 sweep-corpus matrices to stdout, one worker
+ * per hardware thread.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/chason.h"
+#include "runtime/host.h"
 
 namespace {
 
 using namespace chason;
 
-void
-emit(std::FILE *out, const std::string &name, const sparse::CsrMatrix &a)
+/** §5.2: iterations the end-to-end amortization is reported over. */
+constexpr unsigned kAmortizationIterations = 1000;
+
+/** Per-iteration amortized latency, reusing the cached schedule. */
+double
+amortizedUs(core::BatchEngine &batch, core::Engine::Kind kind,
+            const sparse::CsrMatrix &a)
+{
+    const core::Engine engine(kind);
+    // A cache hit unless the entry was evicted since compare() filled
+    // it (only possible under byte-budget pressure).
+    const auto schedule = batch.schedule(engine, a);
+    const arch::DatapathKind datapath = kind == core::Engine::Kind::Chason
+        ? arch::DatapathKind::Chason
+        : arch::DatapathKind::Serpens;
+    const runtime::HostSession session(datapath, runtime::HostPlatform{},
+                                       engine.config());
+    return session.measure(*schedule, kAmortizationIterations, false)
+        .amortizedPerIterationUs();
+}
+
+/** One corpus entry -> one JSON line. */
+std::string
+emitLine(core::BatchEngine &batch, const std::string &name,
+         const sparse::CsrMatrix &a)
 {
     Rng rng(0x57EE9);
     const std::vector<float> x = sparse::randomVector(a.cols(), rng);
-    const core::Comparison cmp = core::compare(a, x, name);
-    std::fprintf(out, "%s\n", core::toJson(cmp).c_str());
+    const core::Comparison cmp = batch.compare(a, x, name);
+
+    std::string line = core::toJson(cmp);
+    char e2e[192];
+    std::snprintf(e2e, sizeof(e2e),
+                  ",\"end_to_end\":{\"iterations\":%u,"
+                  "\"chason_amortized_us\":%.9g,"
+                  "\"serpens_amortized_us\":%.9g}}",
+                  kAmortizationIterations,
+                  amortizedUs(batch, core::Engine::Kind::Chason, a),
+                  amortizedUs(batch, core::Engine::Kind::Serpens, a));
+    line.pop_back(); // drop the closing brace, extend the object
+    line += e2e;
+    return line;
 }
 
 } // namespace
@@ -39,6 +89,7 @@ main(int argc, char **argv)
     bool table2 = false;
     bool dozen = false;
     std::string out_path;
+    unsigned jobs = 0; // 0 = one worker per hardware thread
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -51,10 +102,12 @@ main(int argc, char **argv)
             dozen = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else {
             std::fprintf(stderr,
                          "usage: chason_sweep [--count N] [--table2] "
-                         "[--dozen] [--out FILE]\n");
+                         "[--dozen] [--out FILE] [--jobs N]\n");
             return 2;
         }
     }
@@ -66,26 +119,40 @@ main(int argc, char **argv)
             chason_fatal("cannot create '%s'", out_path.c_str());
     }
 
-    std::size_t done = 0;
+    std::vector<sparse::SweepEntry> entries;
     if (table2) {
-        for (const sparse::DatasetEntry &e : sparse::table2()) {
-            emit(out, e.id, e.generate());
-            ++done;
-        }
+        for (const sparse::DatasetEntry &e : sparse::table2())
+            entries.push_back({e.id, e.generate});
     } else if (dozen) {
-        for (const sparse::SweepEntry &e : sparse::serpensDozen()) {
-            emit(out, e.name, e.generate());
-            ++done;
-        }
+        for (const sparse::SweepEntry &e : sparse::serpensDozen())
+            entries.push_back(e);
     } else {
-        for (const sparse::SweepEntry &e : sparse::sweepCorpus(count)) {
-            emit(out, e.name, e.generate());
-            ++done;
-        }
+        for (const sparse::SweepEntry &e : sparse::sweepCorpus(count))
+            entries.push_back(e);
     }
+
+    core::BatchOptions options;
+    options.workers = jobs;
+    core::BatchEngine batch(options);
+
+    std::vector<std::string> lines(entries.size());
+    batch.parallelFor(entries.size(), [&](std::size_t i) {
+        lines[i] = emitLine(batch, entries[i].name,
+                            entries[i].generate());
+    });
+
+    for (const std::string &line : lines)
+        std::fprintf(out, "%s\n", line.c_str());
+
+    const core::ScheduleCacheStats cache = batch.cache().stats();
+    std::fprintf(out, "{\"summary\":{\"matrices\":%zu,\"schedule_cache\":%s}}\n",
+                 entries.size(), core::toJson(cache).c_str());
 
     if (out != stdout)
         std::fclose(out);
-    std::fprintf(stderr, "chason_sweep: %zu matrices emitted\n", done);
+    std::fprintf(stderr,
+                 "chason_sweep: %zu matrices emitted (%u workers, "
+                 "cache hit rate %.0f%%)\n",
+                 entries.size(), batch.workers(), 100.0 * cache.hitRate());
     return 0;
 }
