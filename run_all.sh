@@ -16,6 +16,44 @@ cmake --build build-tsan --target test_batch_engine test_schedule_cache test_rng
 ctest --test-dir build-tsan -R 'test_(batch_engine|schedule_cache|rng)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
+# Memory-safety leg: the parsing/verification surface again under
+# ASan+UBSan (artifact readers, verifier, mutation injector, SARIF).
+cmake -B build-asan -G Ninja -DCHASON_ASAN=ON
+cmake --build build-asan --target \
+    test_matrix_market test_schedule_io test_verifier test_sarif \
+    test_differential
+ctest --test-dir build-asan \
+    -R 'test_(matrix_market|schedule_io|verifier|sarif|differential)' \
+    --output-on-failure 2>&1 | tee -a test_output.txt
+
+# Static schedule verification gate: every bundled example schedule must
+# be verifier-clean AND functionally correct (differential), with the
+# findings exported as SARIF; then prove the gate actually fires by
+# verifying a deliberately corrupted schedule.
+build/tools/chason_verify --examples --differential \
+    --sarif verify_output.sarif 2>&1 | tee -a test_output.txt
+if build/tools/chason_verify --dataset DY --corrupt raw --quiet \
+    >> test_output.txt 2>&1; then
+    echo "FAIL: verifier accepted a corrupted schedule" | tee -a test_output.txt
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json; json.load(open('verify_output.sarif'))" \
+        && echo "SARIF OK: verify_output.sarif" | tee -a test_output.txt
+fi
+
+# Static analysis gate, when the toolchain provides clang-tidy (the
+# profile lives in .clang-tidy; bugprone-*, concurrency-*, performance-*).
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    clang-tidy -p build --quiet \
+        src/common/*.cc src/sched/*.cc src/verify/*.cc \
+        2>&1 | tee -a test_output.txt
+else
+    echo "clang-tidy not found; skipping static-analysis leg" \
+        | tee -a test_output.txt
+fi
+
 : > bench_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue

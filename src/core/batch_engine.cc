@@ -5,14 +5,17 @@
 
 #include "core/batch_engine.h"
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "sparse/generators.h"
+#include "verify/verifier.h"
 
 namespace chason {
 namespace core {
 
 BatchEngine::BatchEngine(BatchOptions options)
-    : cache_(options.cacheBudgetBytes), pool_(options.workers)
+    : verifySchedules_(options.verifySchedules),
+      cache_(options.cacheBudgetBytes), pool_(options.workers)
 {
 }
 
@@ -47,7 +50,7 @@ BatchEngine::runJob(std::size_t index)
     Rng rng(job->xSeed);
     const std::vector<float> x =
         sparse::randomVector(job->matrix.cols(), rng);
-    const auto schedule = cache_.get(engine, job->matrix);
+    const auto schedule = this->schedule(engine, job->matrix);
     SpmvReport report =
         engine.runScheduled(*schedule, job->matrix, x, job->dataset);
 
@@ -79,12 +82,64 @@ BatchEngine::parallelFor(std::size_t n,
     pool_.parallelFor(n, body);
 }
 
+std::shared_ptr<const sched::Schedule>
+BatchEngine::schedule(const Engine &engine, const sparse::CsrMatrix &a)
+{
+    auto schedule = cache_.get(engine, a);
+    maybeVerify(schedule, a, engine.config().capacityRowsPerLane());
+    return schedule;
+}
+
+std::shared_ptr<const sched::Schedule>
+BatchEngine::schedule(const sched::Scheduler &scheduler,
+                      const sparse::CsrMatrix &a,
+                      std::uint32_t capacityRowsPerLane)
+{
+    auto schedule = cache_.get(scheduler, a);
+    maybeVerify(schedule, a, capacityRowsPerLane);
+    return schedule;
+}
+
+void
+BatchEngine::maybeVerify(
+    const std::shared_ptr<const sched::Schedule> &schedule,
+    const sparse::CsrMatrix &a, std::uint32_t capacityRowsPerLane)
+{
+    if (!verifySchedules_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(verifiedMutex_);
+        auto it = verified_.find(schedule.get());
+        if (it != verified_.end()) {
+            // Same live instance: already verified. An expired entry
+            // means the address was recycled by the cache — re-verify.
+            if (it->second.lock() == schedule)
+                return;
+            verified_.erase(it);
+        }
+    }
+
+    verify::VerifyOptions options;
+    options.matrix = &a;
+    options.capacityRowsPerLane = capacityRowsPerLane;
+    const verify::VerifyResult result =
+        verify::verifySchedule(*schedule, options);
+    if (!result.clean()) {
+        chason_fatal("schedule verification failed (%s, %zu errors): %s",
+                     schedule->scheduler.c_str(), result.errors,
+                     verify::toString(*result.firstError()).c_str());
+    }
+
+    std::lock_guard<std::mutex> lock(verifiedMutex_);
+    verified_.emplace(schedule.get(), schedule);
+}
+
 SpmvReport
 BatchEngine::run(const Engine &engine, const sparse::CsrMatrix &a,
                  const std::vector<float> &x, const std::string &dataset,
                  std::vector<float> *y_out, const arch::SpmvParams &params)
 {
-    const auto schedule = cache_.get(engine, a);
+    const auto schedule = this->schedule(engine, a);
     return engine.runScheduled(*schedule, a, x, dataset, y_out, params);
 }
 

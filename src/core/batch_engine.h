@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -50,6 +51,15 @@ struct BatchOptions
 
     /** Schedule-cache byte budget. */
     std::size_t cacheBudgetBytes = ScheduleCache::kDefaultBudgetBytes;
+
+    /**
+     * Run the static schedule verifier (verify/verifier.h) on every
+     * schedule produced through the engine, once per cached instance.
+     * An error-severity diagnostic is fatal(): an illegal schedule must
+     * never reach the simulator silently. Tools expose this as
+     * --verify.
+     */
+    bool verifySchedules = false;
 };
 
 /** One self-contained unit of batch work. */
@@ -118,12 +128,19 @@ class BatchEngine
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
-    /** Cache-backed Engine::schedule (thread-safe). */
+    /** Cache-backed Engine::schedule (thread-safe, verified). */
     std::shared_ptr<const sched::Schedule>
-    schedule(const Engine &engine, const sparse::CsrMatrix &a)
-    {
-        return cache_.get(engine, a);
-    }
+    schedule(const Engine &engine, const sparse::CsrMatrix &a);
+
+    /**
+     * Cache-backed scheduling with an explicit scheduler (thread-safe,
+     * verified). @p capacityRowsPerLane feeds the verifier's ScUG
+     * capacity rule when verification is on; pass
+     * ArchConfig::capacityRowsPerLane() or 0 to skip that rule.
+     */
+    std::shared_ptr<const sched::Schedule>
+    schedule(const sched::Scheduler &scheduler, const sparse::CsrMatrix &a,
+             std::uint32_t capacityRowsPerLane = 0);
 
     /** Cache-backed Engine::run (thread-safe). */
     SpmvReport run(const Engine &engine, const sparse::CsrMatrix &a,
@@ -141,7 +158,23 @@ class BatchEngine
   private:
     void runJob(std::size_t index);
 
+    /**
+     * Statically verify @p schedule against @p a unless this cached
+     * instance was already verified; fatal() on any error-severity
+     * diagnostic. No-op when BatchOptions::verifySchedules is off.
+     */
+    void maybeVerify(const std::shared_ptr<const sched::Schedule> &schedule,
+                     const sparse::CsrMatrix &a,
+                     std::uint32_t capacityRowsPerLane);
+
+    bool verifySchedules_;
     ScheduleCache cache_;
+    std::mutex verifiedMutex_; ///< guards verified_
+    // Schedules already verified, keyed by instance; weak_ptr detects
+    // an evicted-and-reallocated address so it is re-verified.
+    std::unordered_map<const sched::Schedule *,
+                       std::weak_ptr<const sched::Schedule>>
+        verified_;
     std::mutex mutex_; ///< guards jobs_ and reports_
     // Deques: submit() must not move elements a worker still reads.
     std::deque<BatchJob> jobs_;

@@ -30,5 +30,9 @@
 #include "sparse/generators.h"       // IWYU pragma: export
 #include "sparse/matrix_market.h"    // IWYU pragma: export
 #include "sparse/structure.h"        // IWYU pragma: export
+#include "verify/mutate.h"           // IWYU pragma: export
+#include "verify/rules.h"            // IWYU pragma: export
+#include "verify/sarif.h"            // IWYU pragma: export
+#include "verify/verifier.h"         // IWYU pragma: export
 
 #endif // CHASON_CORE_CHASON_H_

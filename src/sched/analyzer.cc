@@ -6,10 +6,6 @@
 #include "sched/analyzer.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "common/logging.h"
 
 namespace chason {
 namespace sched {
@@ -77,113 +73,11 @@ analyze(const Schedule &schedule)
     return stats;
 }
 
-void
-validateSchedule(const Schedule &schedule, const sparse::CsrMatrix &matrix)
-{
-    const SchedConfig &cfg = schedule.config;
-    const LaneMap map(cfg);
-    const unsigned pes = cfg.pesPerGroup();
-    const unsigned channels = cfg.channels;
-
-    // Expected elements: (row, col) -> value.
-    std::unordered_map<std::uint64_t, float> expected;
-    expected.reserve(matrix.nnz());
-    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
-        for (std::size_t i = matrix.rowPtr()[r]; i < matrix.rowPtr()[r + 1];
-             ++i) {
-            expected[(static_cast<std::uint64_t>(r) << 32) |
-                     matrix.colIdx()[i]] = matrix.values()[i];
-        }
-    }
-
-    std::size_t seen = 0;
-    for (const WindowSchedule &phase : schedule.phases) {
-        chason_assert(phase.channels.size() == channels,
-                      "phase has %zu channels, config says %u",
-                      phase.channels.size(), channels);
-        // bank -> last write beat within this phase
-        std::unordered_map<std::uint64_t, std::size_t> last_write;
-
-        const std::uint32_t col_lo = phase.window * cfg.windowCols;
-        const std::uint32_t row_lo = phase.pass * cfg.rowsPerPass();
-
-        for (unsigned ch = 0; ch < channels; ++ch) {
-            const ChannelWindowSchedule &cws = phase.channels[ch];
-            chason_assert(cws.length() <= phase.alignedBeats,
-                          "channel %u longer than aligned length", ch);
-            for (std::size_t t = 0; t < cws.length(); ++t) {
-                for (unsigned p = 0; p < pes; ++p) {
-                    const Slot &slot = cws.beats[t].slots[p];
-                    if (!slot.valid)
-                        continue;
-
-                    // Source mapping invariants.
-                    chason_assert(map.channelOf(slot.row) == slot.chSrc &&
-                                      map.peOf(slot.row) == slot.peSrc,
-                                  "slot source (%u,%u) does not match row "
-                                  "%u's lane", slot.chSrc, slot.peSrc,
-                                  slot.row);
-                    if (slot.pvt) {
-                        chason_assert(slot.chSrc == ch && slot.peSrc == p,
-                                      "pvt slot for row %u streamed on "
-                                      "(%u,%u)", slot.row, ch, p);
-                    } else {
-                        const unsigned dist =
-                            (slot.chSrc + channels - ch) % channels;
-                        chason_assert(dist >= 1 &&
-                                          dist <= cfg.migrationDepth,
-                                      "migrated slot from %u on %u "
-                                      "exceeds depth %u", slot.chSrc, ch,
-                                      cfg.migrationDepth);
-                    }
-
-                    // Window / pass residency and encoding field widths.
-                    chason_assert(slot.col >= col_lo &&
-                                      slot.col - col_lo < cfg.windowCols,
-                                  "col %u outside window %u", slot.col,
-                                  phase.window);
-                    chason_assert(slot.row >= row_lo &&
-                                      slot.row - row_lo < cfg.rowsPerPass(),
-                                  "row %u outside pass %u", slot.row,
-                                  phase.pass);
-
-                    // RAW distance on the physical accumulator bank.
-                    const std::uint64_t bank =
-                        ((static_cast<std::uint64_t>(ch) * pes + p)
-                         << 32) | slot.row;
-                    auto it = last_write.find(bank);
-                    if (it != last_write.end()) {
-                        chason_assert(it->second + cfg.rawDistance <= t,
-                                      "RAW violation: row %u written at "
-                                      "beats %zu and %zu on (%u,%u)",
-                                      slot.row, it->second, t, ch, p);
-                    }
-                    last_write[bank] = t;
-
-                    // Element accounting.
-                    const std::uint64_t key =
-                        (static_cast<std::uint64_t>(slot.row) << 32) |
-                        slot.col;
-                    auto found = expected.find(key);
-                    chason_assert(found != expected.end(),
-                                  "unexpected or duplicated element "
-                                  "(%u,%u)", slot.row, slot.col);
-                    chason_assert(found->second == slot.value,
-                                  "value mismatch at (%u,%u)", slot.row,
-                                  slot.col);
-                    expected.erase(found);
-                    ++seen;
-                }
-            }
-        }
-    }
-
-    chason_assert(seen == matrix.nnz(),
-                  "schedule covers %zu of %zu non-zeros", seen,
-                  matrix.nnz());
-    chason_assert(expected.empty(), "%zu elements missing from schedule",
-                  expected.size());
-}
+// validateSchedule() is defined in verify/verifier.cc (library
+// chason_verify): it is a strict wrapper over the static schedule
+// verifier, which owns the single implementation of the architectural
+// invariants. chason_sched cannot link chason_verify without a cycle,
+// so the definition lives there.
 
 } // namespace sched
 } // namespace chason

@@ -72,6 +72,12 @@ ScheduleStats analyze(const Schedule &schedule);
  *  - every matrix non-zero appears exactly once.
  * Panics with a diagnostic on the first violation. Used by tests and by
  * the simulator's paranoid mode.
+ *
+ * This is the strict facade over verify::verifySchedule (see
+ * verify/verifier.h), which reports *all* violations as structured
+ * CHV*** diagnostics instead of panicking. The definition lives in the
+ * chason_verify library; link it (chason_core already does) to use
+ * this function.
  */
 void validateSchedule(const Schedule &schedule,
                       const sparse::CsrMatrix &matrix);

@@ -133,7 +133,12 @@ readSchedule(std::istream &in)
         for (unsigned ch = 0; ch < cfg.channels; ++ch) {
             const std::uint64_t count = get<std::uint64_t>(in);
             std::vector<EncodedElement> words;
-            words.reserve(count);
+            // Cap the speculative reserve: count comes from the file,
+            // and a corrupted header must not demand an exabyte up
+            // front. A genuine oversized count then fails as a clean
+            // "truncated stream" instead of a bad_alloc.
+            words.reserve(static_cast<std::size_t>(
+                std::min<std::uint64_t>(count, 1u << 20)));
             for (std::uint64_t i = 0; i < count; ++i)
                 words.emplace_back(get<std::uint64_t>(in));
             phase.channels[ch] = decodeChannelStream(

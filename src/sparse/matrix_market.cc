@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.h"
@@ -55,16 +58,30 @@ readMatrixMarket(std::istream &in)
     }
 
     // Skip comments.
+    bool haveSizeLine = false;
     while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+        if (!line.empty() && line[0] != '%') {
+            haveSizeLine = true;
             break;
+        }
     }
+    if (!haveSizeLine)
+        chason_fatal("matrix market: truncated before size line");
 
     std::istringstream dims(line);
     long long rows = 0, cols = 0, entries = 0;
-    dims >> rows >> cols >> entries;
-    if (rows <= 0 || cols <= 0 || entries < 0)
+    if (!(dims >> rows >> cols >> entries) || rows <= 0 || cols <= 0 ||
+        entries < 0) {
         chason_fatal("matrix market: bad size line '%s'", line.c_str());
+    }
+    // Indices are stored as uint32_t; a matrix that does not fit would
+    // silently alias rows/columns after the cast below.
+    constexpr long long kMaxDim =
+        std::numeric_limits<std::uint32_t>::max();
+    if (rows > kMaxDim || cols > kMaxDim) {
+        chason_fatal("matrix market: dimensions %lldx%lld overflow "
+                     "32-bit indices", rows, cols);
+    }
 
     const bool pattern = field == "pattern";
     const bool symmetric = symmetry != "general";
@@ -77,8 +94,25 @@ readMatrixMarket(std::istream &in)
         double v = 1.0;
         if (!(in >> r >> c))
             chason_fatal("matrix market: truncated at entry %lld", i);
-        if (!pattern && !(in >> v))
-            chason_fatal("matrix market: missing value at entry %lld", i);
+        if (!pattern) {
+            // Via strtod rather than operator>>: C writers emit "nan"
+            // and "inf", which libstdc++ streams refuse to parse at
+            // all. Accept the spelling, then reject the value — a
+            // non-finite entry would silently poison every partial sum
+            // its row touches.
+            std::string token;
+            if (!(in >> token))
+                chason_fatal("matrix market: missing value at entry %lld",
+                             i);
+            char *end = nullptr;
+            v = std::strtod(token.c_str(), &end);
+            if (end == token.c_str() || *end != '\0')
+                chason_fatal("matrix market: bad value '%s' at entry %lld",
+                             token.c_str(), i);
+            if (!std::isfinite(v))
+                chason_fatal("matrix market: non-finite value '%s' at "
+                             "entry %lld", token.c_str(), i);
+        }
         if (r < 1 || r > rows || c < 1 || c > cols)
             chason_fatal("matrix market: entry (%lld,%lld) out of bounds",
                          r, c);

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Diagnostic collection and text rendering.
+ */
+
+#include "verify/diagnostics.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace chason {
+namespace verify {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::kNote:
+        return "note";
+    case Severity::kWarning:
+        return "warning";
+    case Severity::kError:
+        return "error";
+    }
+    return "error";
+}
+
+bool
+Location::empty() const
+{
+    return phase < 0 && pass < 0 && window < 0 && channel < 0 &&
+        beat < 0 && pe < 0;
+}
+
+std::string
+Location::qualifiedName() const
+{
+    std::string out;
+    char buf[96];
+    if (phase >= 0) {
+        if (pass >= 0 && window >= 0) {
+            std::snprintf(buf, sizeof(buf),
+                          "phase[%lld](pass %lld, window %lld)",
+                          static_cast<long long>(phase),
+                          static_cast<long long>(pass),
+                          static_cast<long long>(window));
+        } else {
+            std::snprintf(buf, sizeof(buf), "phase[%lld]",
+                          static_cast<long long>(phase));
+        }
+        out += buf;
+    }
+    if (channel >= 0) {
+        std::snprintf(buf, sizeof(buf), "%schannel[%lld]",
+                      out.empty() ? "" : ".",
+                      static_cast<long long>(channel));
+        out += buf;
+    }
+    if (beat >= 0) {
+        std::snprintf(buf, sizeof(buf), "%sbeat[%lld]",
+                      out.empty() ? "" : ".",
+                      static_cast<long long>(beat));
+        out += buf;
+    }
+    if (pe >= 0) {
+        std::snprintf(buf, sizeof(buf), "%spe[%lld]",
+                      out.empty() ? "" : ".", static_cast<long long>(pe));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+toString(const Diagnostic &diagnostic)
+{
+    std::string out = severityName(diagnostic.severity);
+    out += ' ';
+    out += diagnostic.ruleId;
+    const std::string where = diagnostic.loc.qualifiedName();
+    if (!where.empty()) {
+        out += " at ";
+        out += where;
+    }
+    out += ": ";
+    out += diagnostic.message;
+    return out;
+}
+
+void
+DiagnosticEngine::report(const char *ruleId, Severity severity,
+                         Location loc, std::string message)
+{
+    switch (severity) {
+    case Severity::kError:
+        ++errors_;
+        break;
+    case Severity::kWarning:
+        ++warnings_;
+        break;
+    case Severity::kNote:
+        ++notes_;
+        break;
+    }
+    if (maxPerRule_ != 0 && perRuleCount(ruleId) >= maxPerRule_) {
+        ++suppressed_;
+        return;
+    }
+    Diagnostic d;
+    d.ruleId = ruleId;
+    d.severity = severity;
+    d.message = std::move(message);
+    d.loc = loc;
+    diags_.push_back(std::move(d));
+}
+
+std::size_t
+DiagnosticEngine::perRuleCount(const char *ruleId) const
+{
+    std::size_t count = 0;
+    for (const Diagnostic &d : diags_) {
+        if (d.ruleId == ruleId)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace verify
+} // namespace chason

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structured diagnostics for the static schedule verifier.
+ *
+ * Every finding carries a stable rule ID (CHV001, CHV002, ...), a
+ * severity, a human-readable message and a source location expressed in
+ * schedule coordinates (phase / channel / beat / PE) — the moral
+ * equivalent of file:line for an offline CrHCS artifact. Findings are
+ * collected by a DiagnosticEngine so callers can render them as text,
+ * panic on the first error (sched::validateSchedule), or export SARIF
+ * for CI (verify/sarif.h).
+ */
+
+#ifndef CHASON_VERIFY_DIAGNOSTICS_H_
+#define CHASON_VERIFY_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chason {
+namespace verify {
+
+/** Finding severity, ordered by weight. Maps 1:1 onto SARIF levels. */
+enum class Severity
+{
+    kNote,    ///< informational (e.g. artifact not wire-serializable)
+    kWarning, ///< questionable but not incorrect
+    kError,   ///< the schedule is illegal on the modeled hardware
+};
+
+/** SARIF level string ("note", "warning", "error"). */
+const char *severityName(Severity severity);
+
+/**
+ * Where in the schedule a finding points. Fields are -1 when the
+ * coordinate does not apply (e.g. a config-level finding has none).
+ */
+struct Location
+{
+    std::int64_t phase = -1;   ///< index into Schedule::phases
+    std::int64_t pass = -1;    ///< row pass of that phase
+    std::int64_t window = -1;  ///< column window of that phase
+    std::int64_t channel = -1; ///< matrix channel
+    std::int64_t beat = -1;    ///< beat within the channel's list
+    std::int64_t pe = -1;      ///< PE slot within the beat
+
+    /** True if no coordinate is set. */
+    bool empty() const;
+
+    /** "phase[3](pass 0, window 1).channel[2].beat[17].pe[4]" or "". */
+    std::string qualifiedName() const;
+};
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    std::string ruleId; ///< stable "CHV###" identifier
+    Severity severity = Severity::kError;
+    std::string message; ///< human-readable detail, no trailing newline
+    Location loc;
+};
+
+/** "error CHV004 at phase[0].channel[1].beat[9].pe[2]: ..." */
+std::string toString(const Diagnostic &diagnostic);
+
+/**
+ * Collects diagnostics with an optional per-rule cap: the first N
+ * findings of each rule are kept verbatim, the rest only counted — a
+ * corrupt artifact can otherwise produce one finding per non-zero.
+ */
+class DiagnosticEngine
+{
+  public:
+    /** @p maxPerRule 0 means unlimited. */
+    explicit DiagnosticEngine(std::size_t maxPerRule = 0)
+        : maxPerRule_(maxPerRule)
+    {
+    }
+
+    /** Report one finding (printf-style message already formatted). */
+    void report(const char *ruleId, Severity severity, Location loc,
+                std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    std::size_t errorCount() const { return errors_; }
+    std::size_t warningCount() const { return warnings_; }
+    std::size_t noteCount() const { return notes_; }
+
+    /** Findings dropped by the per-rule cap (still counted above). */
+    std::size_t suppressedCount() const { return suppressed_; }
+
+  private:
+    std::size_t perRuleCount(const char *ruleId) const;
+
+    std::size_t maxPerRule_;
+    std::vector<Diagnostic> diags_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+    std::size_t notes_ = 0;
+    std::size_t suppressed_ = 0;
+};
+
+} // namespace verify
+} // namespace chason
+
+#endif // CHASON_VERIFY_DIAGNOSTICS_H_

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Corruption injection.
+ */
+
+#include "verify/mutate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/rules.h"
+
+namespace chason {
+namespace verify {
+
+namespace {
+
+using sched::Schedule;
+using sched::Slot;
+
+/** (phase, channel, beat, pe) of a slot. */
+struct Site
+{
+    std::size_t phase;
+    std::size_t channel;
+    std::size_t beat;
+    unsigned pe;
+};
+
+Slot &
+slotAt(Schedule &schedule, const Site &site)
+{
+    return schedule.phases[site.phase]
+        .channels[site.channel]
+        .beats[site.beat]
+        .slots[site.pe];
+}
+
+std::vector<Site>
+validSites(Schedule &schedule)
+{
+    const unsigned pes = schedule.config.pesPerGroup();
+    std::vector<Site> sites;
+    for (std::size_t ph = 0; ph < schedule.phases.size(); ++ph) {
+        auto &phase = schedule.phases[ph];
+        for (std::size_t ch = 0; ch < phase.channels.size(); ++ch) {
+            auto &beats = phase.channels[ch].beats;
+            for (std::size_t t = 0; t < beats.size(); ++t) {
+                for (unsigned p = 0; p < pes; ++p) {
+                    if (beats[t].slots[p].valid)
+                        sites.push_back({ph, ch, t, p});
+                }
+            }
+        }
+    }
+    return sites;
+}
+
+/**
+ * Flip the top mantissa bit: guaranteed to change any finite float,
+ * and by enough (25-50% of the value) that the tampering also survives
+ * float accumulation — a 1-ulp flip would be caught by CHV003's exact
+ * compare but could round away in the simulated partial sums, which
+ * the differential tests rely on not happening.
+ */
+float
+perturb(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    bits ^= 0x0040'0000u;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+bool
+injectValueTamper(Schedule &schedule, std::uint64_t seed)
+{
+    std::vector<Site> sites = validSites(schedule);
+    if (sites.empty())
+        return false;
+    Slot &slot = slotAt(schedule, sites[seed % sites.size()]);
+    slot.value = perturb(slot.value);
+    return true;
+}
+
+bool
+injectDrop(Schedule &schedule, std::uint64_t seed)
+{
+    std::vector<Site> sites = validSites(schedule);
+    if (sites.empty())
+        return false;
+    slotAt(schedule, sites[seed % sites.size()]) = Slot();
+    return true;
+}
+
+bool
+injectDuplicate(Schedule &schedule, std::uint64_t seed)
+{
+    const unsigned raw = schedule.config.rawDistance;
+    std::vector<Site> sites = validSites(schedule);
+    if (sites.empty())
+        return false;
+    // Prefer a stall slot at hazard-safe distance in the same channel
+    // and PE column, so the duplicate trips CHV002 alone. Safe means
+    // >= raw beats away from EVERY write of that row in the column —
+    // the round-robin schedules the same row again every rawDistance
+    // beats, so checking only the source beat is not enough.
+    for (std::size_t attempt = 0; attempt < sites.size(); ++attempt) {
+        const Site src = sites[(seed + attempt) % sites.size()];
+        auto &beats =
+            schedule.phases[src.phase].channels[src.channel].beats;
+        const std::uint32_t row = slotAt(schedule, src).row;
+        std::vector<std::size_t> writes;
+        for (std::size_t t = 0; t < beats.size(); ++t) {
+            const Slot &slot = beats[t].slots[src.pe];
+            if (slot.valid && slot.row == row)
+                writes.push_back(t);
+        }
+        for (std::size_t t = 0; t < beats.size(); ++t) {
+            Slot &candidate = beats[t].slots[src.pe];
+            if (candidate.valid)
+                continue;
+            const bool safe = std::all_of(
+                writes.begin(), writes.end(), [&](std::size_t w) {
+                    return (t > w ? t - w : w - t) >= raw;
+                });
+            if (safe) {
+                candidate = slotAt(schedule, src);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+injectRawViolation(Schedule &schedule, std::uint64_t seed)
+{
+    const unsigned pes = schedule.config.pesPerGroup();
+    const unsigned raw = schedule.config.rawDistance;
+
+    // An opportunity: two writes (t1 < t2) to the same row in the same
+    // (phase, channel, PE column) with a free slot u in (t1, t1+raw).
+    struct Opportunity
+    {
+        Site from; ///< the t2 write to relocate
+        Site to;   ///< the free slot inside t1's hazard window
+    };
+    std::vector<Opportunity> opportunities;
+
+    for (std::size_t ph = 0; ph < schedule.phases.size(); ++ph) {
+        auto &phase = schedule.phases[ph];
+        for (std::size_t ch = 0; ch < phase.channels.size(); ++ch) {
+            auto &beats = phase.channels[ch].beats;
+            for (unsigned p = 0; p < pes; ++p) {
+                // row -> first write beat in this column.
+                std::vector<std::pair<std::uint32_t, std::size_t>> first;
+                for (std::size_t t = 0; t < beats.size(); ++t) {
+                    const Slot &slot = beats[t].slots[p];
+                    if (!slot.valid)
+                        continue;
+                    std::size_t t1 = SIZE_MAX;
+                    for (const auto &[row, beat] : first) {
+                        if (row == slot.row) {
+                            t1 = beat;
+                            break;
+                        }
+                    }
+                    if (t1 == SIZE_MAX) {
+                        first.emplace_back(slot.row, t);
+                        continue;
+                    }
+                    // Found a (t1, t) same-row pair; look for a free
+                    // slot strictly inside t1's hazard window.
+                    const std::size_t lo = t1 + 1;
+                    const std::size_t hi =
+                        std::min<std::size_t>(t1 + raw, t);
+                    for (std::size_t u = lo; u < hi; ++u) {
+                        if (!beats[u].slots[p].valid) {
+                            opportunities.push_back(
+                                {{ph, ch, t, p}, {ph, ch, u, p}});
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (opportunities.empty())
+        return false;
+    const Opportunity &op =
+        opportunities[seed % opportunities.size()];
+    slotAt(schedule, op.to) = slotAt(schedule, op.from);
+    slotAt(schedule, op.from) = Slot();
+    return true;
+}
+
+} // namespace
+
+const char *
+corruptionName(Corruption kind)
+{
+    switch (kind) {
+    case Corruption::kRawDistance:
+        return "raw-distance";
+    case Corruption::kDuplicateElement:
+        return "duplicate";
+    case Corruption::kDropElement:
+        return "drop";
+    case Corruption::kValueTamper:
+        return "value";
+    }
+    return "unknown";
+}
+
+bool
+parseCorruption(const char *name, Corruption *out)
+{
+    const std::string s(name);
+    if (s == "raw-distance" || s == "raw") {
+        *out = Corruption::kRawDistance;
+    } else if (s == "duplicate" || s == "dup") {
+        *out = Corruption::kDuplicateElement;
+    } else if (s == "drop") {
+        *out = Corruption::kDropElement;
+    } else if (s == "value") {
+        *out = Corruption::kValueTamper;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+expectedRule(Corruption kind)
+{
+    switch (kind) {
+    case Corruption::kRawDistance:
+        return rule::kRawHazard;
+    case Corruption::kDuplicateElement:
+        return rule::kDuplicateElement;
+    case Corruption::kDropElement:
+        return rule::kMissingElement;
+    case Corruption::kValueTamper:
+        return rule::kValueMismatch;
+    }
+    return rule::kMetadata;
+}
+
+bool
+corruptSchedule(Schedule &schedule, Corruption kind, std::uint64_t seed)
+{
+    switch (kind) {
+    case Corruption::kRawDistance:
+        return injectRawViolation(schedule, seed);
+    case Corruption::kDuplicateElement:
+        return injectDuplicate(schedule, seed);
+    case Corruption::kDropElement:
+        return injectDrop(schedule, seed);
+    case Corruption::kValueTamper:
+        return injectValueTamper(schedule, seed);
+    }
+    return false;
+}
+
+} // namespace verify
+} // namespace chason

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deliberate schedule corruption, for negative-testing the verifier.
+ *
+ * Each Corruption kind injects exactly the defect class one CHV rule
+ * exists to catch, so tests (and the `chason_verify --corrupt` CLI
+ * mode used by the run_all.sh gate) can assert that a corrupted
+ * artifact is flagged with the *right* rule ID — a verifier that cries
+ * "error" for the wrong reason is as untrustworthy as a silent one.
+ */
+
+#ifndef CHASON_VERIFY_MUTATE_H_
+#define CHASON_VERIFY_MUTATE_H_
+
+#include <cstdint>
+
+#include "sched/schedule.h"
+
+namespace chason {
+namespace verify {
+
+/** Defect classes the injector can produce. */
+enum class Corruption
+{
+    kRawDistance,      ///< move a write inside another's hazard window
+    kDuplicateElement, ///< schedule one non-zero twice
+    kDropElement,      ///< erase one scheduled non-zero
+    kValueTamper,      ///< perturb one element's value
+};
+
+/** CLI spelling ("raw-distance", "duplicate", "drop", "value"). */
+const char *corruptionName(Corruption kind);
+
+/** Parse a CLI spelling; returns false if @p name is unknown. */
+bool parseCorruption(const char *name, Corruption *out);
+
+/** The rule ID the verifier must flag this corruption under. */
+const char *expectedRule(Corruption kind);
+
+/**
+ * Inject @p kind into @p schedule, choosing the site from @p seed
+ * deterministically. Returns false when the schedule offers no
+ * opportunity (e.g. no two same-row writes share a lane for
+ * kRawDistance); the schedule is unmodified in that case.
+ */
+bool corruptSchedule(sched::Schedule &schedule, Corruption kind,
+                     std::uint64_t seed = 1);
+
+} // namespace verify
+} // namespace chason
+
+#endif // CHASON_VERIFY_MUTATE_H_

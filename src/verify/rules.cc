@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Rule catalog data.
+ */
+
+#include "verify/rules.h"
+
+#include <cstring>
+
+namespace chason {
+namespace verify {
+
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {rule::kMissingElement, "MissingElement", Severity::kError,
+     "Every matrix non-zero must be scheduled exactly once; this one is "
+     "absent from the schedule.",
+     "Section 2.2 (completeness of the offline data list)"},
+    {rule::kDuplicateElement, "DuplicateElement", Severity::kError,
+     "A slot carries an element the matrix does not contain, or one "
+     "that was already scheduled elsewhere.",
+     "Section 2.2 (completeness of the offline data list)"},
+    {rule::kValueMismatch, "ValueMismatch", Severity::kError,
+     "A scheduled element's value differs from the matrix entry at its "
+     "(row, col).",
+     "Section 3.2 (64-bit element carries the FP32 value)"},
+    {rule::kRawHazard, "RawHazard", Severity::kError,
+     "Two writes to the same accumulator bank (streaming lane x row) "
+     "closer than the FP accumulator pipeline depth.",
+     "Section 2.2 (dependency distance), Section 4.1 (10-cycle adder)"},
+    {rule::kLaneMapping, "LaneMapping", Severity::kError,
+     "A slot's source (channel, PE) tag does not match the lane its row "
+     "is statically mapped to.",
+     "Eq. 1-2 (static row-to-lane mapping)"},
+    {rule::kPvtFlag, "PvtFlag", Severity::kError,
+     "A slot marked private (pvt=1) is streamed on a lane other than "
+     "its own.",
+     "Section 3.2 (pvt bit semantics)"},
+    {rule::kMigrationDepth, "MigrationDepth", Severity::kError,
+     "A migrated element's source channel is farther than the "
+     "configured migration depth (or is the destination itself).",
+     "Section 3.1 (migration to the previous channel), Section 6.1"},
+    {rule::kWindowBounds, "WindowBounds", Severity::kError,
+     "A slot's column falls outside its phase's column window.",
+     "Section 4.1 (column window W = 8192)"},
+    {rule::kPassBounds, "PassBounds", Severity::kError,
+     "A slot's row falls outside its phase's row pass.",
+     "Section 4.1 (rows per pass), Section 4.5"},
+    {rule::kEncodingOverflow, "EncodingOverflow", Severity::kError,
+     "A local index exceeds its wire-encoding field width (15-bit row, "
+     "13-bit column, 3-bit PE_src), or the config makes that "
+     "unavoidable.",
+     "Section 3.2 (64-bit element layout)"},
+    {rule::kPhaseShape, "PhaseShape", Severity::kError,
+     "A phase's channel-list shape is inconsistent: wrong channel "
+     "count, a channel longer than alignedBeats, alignedBeats shorter "
+     "than the longest channel, or a valid slot beyond the active PEs.",
+     "Section 3.1 (channels stream in lockstep per window)"},
+    {rule::kScugCapacity, "ScugCapacity", Severity::kError,
+     "A lane-local row address exceeds the physical ScUG URAM capacity "
+     "for a pass (or the config nominally allows that).",
+     "Section 4.5 (ScUG banking and URAM folding)"},
+    {rule::kPhaseOrder, "PhaseOrder", Severity::kError,
+     "Phases repeat a (pass, window) pair or run out of pass-major "
+     "order (duplicate: error; out-of-order: warning).",
+     "Section 3.1 (window-by-window execution)"},
+    {rule::kMetadata, "Metadata", Severity::kError,
+     "Schedule metadata (rows/cols/nnz/config) is internally "
+     "inconsistent with the schedule contents.",
+     "Section 3.2 (artifact header)"},
+};
+
+} // namespace
+
+const RuleInfo *
+ruleCatalog(std::size_t *count)
+{
+    if (count != nullptr)
+        *count = sizeof(kRules) / sizeof(kRules[0]);
+    return kRules;
+}
+
+const RuleInfo *
+findRule(const char *id)
+{
+    for (const RuleInfo &r : kRules) {
+        if (std::strcmp(r.id, id) == 0)
+            return &r;
+    }
+    return nullptr;
+}
+
+} // namespace verify
+} // namespace chason

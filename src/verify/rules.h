@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The CHV*** rule catalog: every architectural invariant the static
+ * schedule verifier checks, with its paper anchor.
+ *
+ * The catalog is data, not code, so the SARIF exporter can emit the
+ * full `tool.driver.rules` array and docs/ARCHITECTURE.md can mirror
+ * the same table. Checking logic lives in verify/verifier.cc.
+ */
+
+#ifndef CHASON_VERIFY_RULES_H_
+#define CHASON_VERIFY_RULES_H_
+
+#include <cstddef>
+
+#include "verify/diagnostics.h"
+
+namespace chason {
+namespace verify {
+
+/** Stable rule identifiers (indices into ruleCatalog()). */
+namespace rule {
+inline constexpr const char *kMissingElement = "CHV001";
+inline constexpr const char *kDuplicateElement = "CHV002";
+inline constexpr const char *kValueMismatch = "CHV003";
+inline constexpr const char *kRawHazard = "CHV004";
+inline constexpr const char *kLaneMapping = "CHV005";
+inline constexpr const char *kPvtFlag = "CHV006";
+inline constexpr const char *kMigrationDepth = "CHV007";
+inline constexpr const char *kWindowBounds = "CHV008";
+inline constexpr const char *kPassBounds = "CHV009";
+inline constexpr const char *kEncodingOverflow = "CHV010";
+inline constexpr const char *kPhaseShape = "CHV011";
+inline constexpr const char *kScugCapacity = "CHV012";
+inline constexpr const char *kPhaseOrder = "CHV013";
+inline constexpr const char *kMetadata = "CHV014";
+} // namespace rule
+
+/** One catalog entry. */
+struct RuleInfo
+{
+    const char *id;           ///< "CHV###"
+    const char *name;         ///< PascalCase short name (SARIF rule.name)
+    Severity defaultSeverity; ///< level when the invariant is violated
+    const char *summary;      ///< one-line description
+    const char *paperRef;     ///< section / equation the invariant models
+};
+
+/** All rules, ordered by ID. */
+const RuleInfo *ruleCatalog(std::size_t *count);
+
+/** Look up a rule by ID; nullptr if unknown. */
+const RuleInfo *findRule(const char *id);
+
+} // namespace verify
+} // namespace chason
+
+#endif // CHASON_VERIFY_RULES_H_

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SARIF 2.1.0 writer.
+ *
+ * Hand-rolled JSON emission in the repo's report_json tradition: the
+ * document shape is fixed, so a serializer dependency would buy
+ * nothing. Property order follows the SARIF spec's examples.
+ */
+
+#include "verify/sarif.h"
+
+#include <cstdio>
+
+#include "verify/rules.h"
+
+namespace chason {
+namespace verify {
+
+namespace {
+
+constexpr const char *kSchemaUri =
+    "https://json.schemastore.org/sarif-2.1.0.json";
+constexpr const char *kToolName = "chason_verify";
+constexpr const char *kToolVersion = "1.0.0";
+constexpr const char *kInfoUri =
+    "https://github.com/chason-sim/chason";
+
+/** Index of a rule ID within the catalog, or -1. */
+int
+ruleIndexOf(const std::string &id)
+{
+    std::size_t count = 0;
+    const RuleInfo *rules = ruleCatalog(&count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (id == rules[i].id)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+uriEscape(const std::string &uri)
+{
+    std::string out;
+    out.reserve(uri.size());
+    for (char c : uri) {
+        if (c == ' ')
+            out += "%20";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+SarifLog::addResult(const VerifyResult &result,
+                    const std::string &artifactUri)
+{
+    for (const Diagnostic &d : result.diagnostics)
+        results_.push_back({d, artifactUri});
+}
+
+std::string
+SarifLog::toJson() const
+{
+    std::string out;
+    out.reserve(4096 + results_.size() * 256);
+    out += "{\n";
+    out += "  \"$schema\": \"";
+    out += kSchemaUri;
+    out += "\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n";
+
+    // tool.driver with the embedded rule catalog.
+    out += "      \"tool\": {\n        \"driver\": {\n";
+    out += "          \"name\": \"";
+    out += kToolName;
+    out += "\",\n          \"version\": \"";
+    out += kToolVersion;
+    out += "\",\n          \"informationUri\": \"";
+    out += kInfoUri;
+    out += "\",\n          \"rules\": [\n";
+    std::size_t rule_count = 0;
+    const RuleInfo *rules = ruleCatalog(&rule_count);
+    for (std::size_t i = 0; i < rule_count; ++i) {
+        const RuleInfo &r = rules[i];
+        out += "            {\n              \"id\": \"";
+        out += r.id;
+        out += "\",\n              \"name\": \"";
+        out += r.name;
+        out += "\",\n              \"shortDescription\": {\"text\": \"";
+        out += jsonEscape(r.summary);
+        out += "\"},\n              \"fullDescription\": {\"text\": \"";
+        out += jsonEscape(std::string(r.summary) + " Models: " +
+                          r.paperRef + ".");
+        out += "\"},\n              \"defaultConfiguration\": "
+               "{\"level\": \"";
+        out += severityName(r.defaultSeverity);
+        out += "\"}\n            }";
+        out += i + 1 < rule_count ? ",\n" : "\n";
+    }
+    out += "          ]\n        }\n      },\n";
+
+    // results.
+    if (results_.empty()) {
+        out += "      \"results\": []\n    }\n  ]\n}\n";
+        return out;
+    }
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const Entry &e = results_[i];
+        out += "        {\n          \"ruleId\": \"";
+        out += e.diagnostic.ruleId;
+        const int index = ruleIndexOf(e.diagnostic.ruleId);
+        if (index >= 0) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          "\",\n          \"ruleIndex\": %d", index);
+            out += buf;
+        } else {
+            out += '"';
+        }
+        out += ",\n          \"level\": \"";
+        out += severityName(e.diagnostic.severity);
+        out += "\",\n          \"message\": {\"text\": \"";
+        out += jsonEscape(e.diagnostic.message);
+        out += "\"},\n          \"locations\": [\n            {\n";
+        out += "              \"physicalLocation\": {\n";
+        out += "                \"artifactLocation\": {\"uri\": \"";
+        out += jsonEscape(uriEscape(e.artifactUri));
+        out += "\"}\n              }";
+        const std::string logical = e.diagnostic.loc.qualifiedName();
+        if (!logical.empty()) {
+            out += ",\n              \"logicalLocations\": [\n";
+            out += "                {\"fullyQualifiedName\": \"";
+            out += jsonEscape(logical);
+            out += "\"}\n              ]";
+        }
+        out += "\n            }\n          ]\n        }";
+        out += i + 1 < results_.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n    }\n  ]\n}\n";
+    return out;
+}
+
+} // namespace verify
+} // namespace chason

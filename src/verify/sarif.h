@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SARIF 2.1.0 export for verifier findings.
+ *
+ * The Static Analysis Results Interchange Format is what CI systems
+ * (GitHub code scanning, Azure DevOps, VS Code SARIF viewers) ingest to
+ * render findings inline. One SarifLog aggregates any number of
+ * verified artifacts into a single run of the "chason_verify" driver;
+ * the full CHV rule catalog is embedded as `tool.driver.rules`, and
+ * each finding's schedule coordinates are exported as a SARIF
+ * logicalLocation alongside the artifact URI.
+ */
+
+#ifndef CHASON_VERIFY_SARIF_H_
+#define CHASON_VERIFY_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "verify/verifier.h"
+
+namespace chason {
+namespace verify {
+
+/** Aggregates results from several artifacts into one SARIF run. */
+class SarifLog
+{
+  public:
+    /**
+     * Append every diagnostic of @p result, attributed to the artifact
+     * at @p artifactUri (a file path or a synthesized name like
+     * "schedules/CM.crhcs"; spaces are percent-escaped).
+     */
+    void addResult(const VerifyResult &result,
+                   const std::string &artifactUri);
+
+    /** Findings added so far. */
+    std::size_t size() const { return results_.size(); }
+
+    /** Render the complete SARIF 2.1.0 JSON document. */
+    std::string toJson() const;
+
+  private:
+    struct Entry
+    {
+        Diagnostic diagnostic;
+        std::string artifactUri;
+    };
+    std::vector<Entry> results_;
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace verify
+} // namespace chason
+
+#endif // CHASON_VERIFY_SARIF_H_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static schedule verifier: checks a sched::Schedule against the
+ * architectural invariants of the paper *without running the cycle
+ * simulator*, so an illegal CrHCS artifact is a compile-time error for
+ * the repo instead of a wrong SpMV result hours later.
+ *
+ * Checked invariants (see verify/rules.h for the full catalog):
+ *  - completeness: each matrix non-zero scheduled exactly once, none
+ *    fabricated, values intact (CHV001-003; needs the matrix);
+ *  - RAW hazard distance >= the accumulator pipeline depth on every
+ *    physical bank (streaming lane x row) within a phase (CHV004);
+ *  - lane mapping, pvt flag and migration-depth legality per slot
+ *    (CHV005-007);
+ *  - window/pass residency and wire-encoding field widths (CHV008-010);
+ *  - per-channel payload alignment and phase shape (CHV011);
+ *  - ScUG URAM capacity per pass when the caller supplies the physical
+ *    capacity (CHV012);
+ *  - phase ordering and metadata consistency (CHV013-014).
+ *
+ * verifySchedule() is a pure function and thread-safe; BatchEngine
+ * calls it concurrently from its worker pool when --verify is on.
+ */
+
+#ifndef CHASON_VERIFY_VERIFIER_H_
+#define CHASON_VERIFY_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+#include "sparse/formats.h"
+#include "verify/diagnostics.h"
+
+namespace chason {
+namespace verify {
+
+/** What to check and how much to report. */
+struct VerifyOptions
+{
+    /**
+     * Ground-truth matrix. When null the completeness rules
+     * (CHV001-003) are skipped — a loaded artifact can still be checked
+     * for hazards and structure on its own.
+     */
+    const sparse::CsrMatrix *matrix = nullptr;
+
+    /**
+     * Physical rows one lane's ScUG can hold per pass
+     * (arch::ArchConfig::capacityRowsPerLane()). 0 skips CHV012; the
+     * verifier deliberately does not depend on chason_arch, so the
+     * caller supplies the number.
+     */
+    std::uint32_t capacityRowsPerLane = 0;
+
+    /** Keep at most this many findings per rule (0 = unlimited). */
+    std::size_t maxDiagnosticsPerRule = 8;
+};
+
+/** Verifier verdict: the diagnostics plus severity tallies. */
+struct VerifyResult
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+
+    /** Findings dropped by the per-rule cap (counted in the tallies). */
+    std::size_t suppressed = 0;
+
+    /** Valid slots inspected (the verifier's coverage counter). */
+    std::size_t checkedSlots = 0;
+
+    /** Legal on the modeled hardware: no error-severity findings. */
+    bool clean() const { return errors == 0; }
+
+    /** First error-severity diagnostic, or nullptr when clean. */
+    const Diagnostic *firstError() const;
+
+    /** "clean: 1234 slots checked" or "3 errors, 1 warning ...". */
+    std::string summary() const;
+};
+
+/** Statically verify @p schedule. Pure function; never panics. */
+VerifyResult verifySchedule(const sched::Schedule &schedule,
+                            const VerifyOptions &options = {});
+
+} // namespace verify
+
+namespace sched {
+
+/**
+ * Legacy strict entry point (declared in sched/analyzer.h, defined in
+ * the chason_verify library): runs the static verifier and panics with
+ * the first error-severity diagnostic. Kept so scheduler tests remain
+ * one-line assertions.
+ */
+void validateSchedule(const Schedule &schedule,
+                      const sparse::CsrMatrix &matrix);
+
+} // namespace sched
+} // namespace chason
+
+#endif // CHASON_VERIFY_VERIFIER_H_

@@ -16,7 +16,9 @@
 #include "sched/analyzer.h"
 #include "sched/crhcs.h"
 #include "sched/pe_aware.h"
+#include "sched/row_based.h"
 #include "sparse/generators.h"
+#include "verify/verifier.h"
 
 namespace chason {
 namespace sched {
@@ -150,6 +152,40 @@ TEST(ScheduleIoDeath, TruncationFatal)
     std::stringstream cut(full.substr(0, full.size() / 2));
     EXPECT_EXIT(readSchedule(cut), ::testing::ExitedWithCode(1),
                 "truncated");
+}
+
+// Save -> load -> verify for each scheduler family: the restored
+// artifact must be element-identical to the original AND pass the
+// static verifier with completeness checked against the source matrix.
+TEST(ScheduleIo, RoundTripVerifierCleanAllSchedulers)
+{
+    Rng rng(8);
+    const sparse::CsrMatrix a = sparse::zipfRows(1200, 1200, 9000, 1.2, rng);
+
+    std::vector<Schedule> originals;
+    {
+        SchedConfig serial;
+        serial.migrationDepth = 0;
+        originals.push_back(RowBasedScheduler(serial).schedule(a));
+        originals.push_back(PeAwareScheduler(serial).schedule(a));
+        originals.push_back(CrhcsScheduler(SchedConfig{}).schedule(a));
+    }
+
+    for (const Schedule &original : originals) {
+        SCOPED_TRACE(original.scheduler);
+        std::stringstream buffer;
+        writeSchedule(original, buffer);
+        const Schedule restored = readSchedule(buffer);
+        expectEqualSchedules(original, restored);
+
+        verify::VerifyOptions options;
+        options.matrix = &a;
+        const verify::VerifyResult result =
+            verify::verifySchedule(restored, options);
+        EXPECT_TRUE(result.clean()) << result.summary();
+        EXPECT_EQ(result.errors, 0u);
+        EXPECT_EQ(result.warnings, 0u);
+    }
 }
 
 TEST(ScheduleIo, ArtifactBytesMatchAnalyzer)

@@ -102,6 +102,57 @@ TEST(MatrixMarketDeath, RejectsTruncatedStream)
                 "truncated");
 }
 
+TEST(MatrixMarketDeath, RejectsStreamEndingBeforeSizeLine)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% only comments follow the banner\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "truncated before size line");
+}
+
+TEST(MatrixMarketDeath, RejectsIncompleteSizeLine)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4 4\n"
+        "1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "bad size line");
+}
+
+TEST(MatrixMarketDeath, RejectsOverflowingDimensions)
+{
+    // 2^32 rows cannot be indexed by uint32_t; the old cast silently
+    // truncated to 0.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4294967296 2 1\n"
+        "1 1 1.0\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "overflow");
+}
+
+TEST(MatrixMarketDeath, RejectsNanValue)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 nan\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "non-finite");
+}
+
+TEST(MatrixMarketDeath, RejectsInfValue)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1 -inf\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "non-finite");
+}
+
 TEST(MatrixMarket, WriteReadRoundTrip)
 {
     CooMatrix coo(4, 5);

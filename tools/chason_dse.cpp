@@ -12,6 +12,11 @@
  * and the printed table are independent of the worker count.
  *
  * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D] [--jobs N]
+ *        [--verify]
+ *
+ * --verify statically verifies every schedule the exploration produces
+ * (verify/verifier.h) before its latency is estimated; an illegal
+ * schedule aborts the run instead of skewing the frontier.
  */
 
 #include <algorithm>
@@ -54,8 +59,10 @@ evaluate(core::BatchEngine &batch, const sparse::CsrMatrix &a,
     cfg.sched.rowsPerLanePerPass = cfg.capacityRowsPerLane();
 
     const std::shared_ptr<const sched::Schedule> sch = depth == 0
-        ? batch.cache().get(sched::PeAwareScheduler(cfg.sched), a)
-        : batch.cache().get(sched::CrhcsScheduler(cfg.sched), a);
+        ? batch.schedule(sched::PeAwareScheduler(cfg.sched), a,
+                         cfg.capacityRowsPerLane())
+        : batch.schedule(sched::CrhcsScheduler(cfg.sched), a,
+                         cfg.capacityRowsPerLane());
     const arch::DatapathKind kind = depth == 0
         ? arch::DatapathKind::Serpens
         : arch::DatapathKind::Chason;
@@ -78,6 +85,7 @@ main(int argc, char **argv)
     std::string mtx;
     unsigned raw = 10;
     unsigned jobs = 0; // 0 = one worker per hardware thread
+    bool verify = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--dataset" && i + 1 < argc) {
@@ -88,10 +96,12 @@ main(int argc, char **argv)
             raw = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--jobs" && i + 1 < argc) {
             jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--verify") {
+            verify = true;
         } else {
             std::fprintf(stderr,
                          "usage: chason_dse [--dataset TAG | --mtx FILE] "
-                         "[--raw D] [--jobs N]\n");
+                         "[--raw D] [--jobs N] [--verify]\n");
             return 2;
         }
     }
@@ -116,6 +126,7 @@ main(int argc, char **argv)
 
     core::BatchOptions options;
     options.workers = jobs;
+    options.verifySchedules = verify;
     core::BatchEngine batch(options);
 
     std::vector<DsePoint> points(grid.size());

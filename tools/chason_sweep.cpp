@@ -17,7 +17,11 @@
  *
  * Usage:
  *   chason_sweep [--count N] [--table2] [--dozen] [--out FILE]
- *                [--jobs N]
+ *                [--jobs N] [--verify]
+ *
+ * --verify runs the static schedule verifier (verify/verifier.h) on
+ * every schedule the sweep produces; an illegal schedule aborts the
+ * sweep rather than contaminating the emitted numbers.
  *
  * Default: the first 100 sweep-corpus matrices to stdout, one worker
  * per hardware thread.
@@ -90,6 +94,7 @@ main(int argc, char **argv)
     bool dozen = false;
     std::string out_path;
     unsigned jobs = 0; // 0 = one worker per hardware thread
+    bool verify = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,10 +109,12 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
             jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--verify") {
+            verify = true;
         } else {
             std::fprintf(stderr,
                          "usage: chason_sweep [--count N] [--table2] "
-                         "[--dozen] [--out FILE] [--jobs N]\n");
+                         "[--dozen] [--out FILE] [--jobs N] [--verify]\n");
             return 2;
         }
     }
@@ -133,6 +140,7 @@ main(int argc, char **argv)
 
     core::BatchOptions options;
     options.workers = jobs;
+    options.verifySchedules = verify;
     core::BatchEngine batch(options);
 
     std::vector<std::string> lines(entries.size());
