@@ -42,6 +42,38 @@ if command -v python3 >/dev/null 2>&1; then
         && echo "SARIF OK: verify_output.sarif" | tee -a test_output.txt
 fi
 
+# Tracing gate: chason_trace self-checks the cycle-attribution
+# invariant (trace spans must reconcile exactly with the report's
+# cycle breakdown) and exits non-zero on mismatch; on top of that,
+# validate that the Chrome trace parses, is non-empty, and that the
+# exported counters agree with the report's cycle_breakdown field.
+build/tools/chason_trace --dataset mycielskian12 \
+    --out trace_output.json --counters trace_counters.json \
+    2>&1 | tee -a test_output.txt
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' 2>&1 | tee -a test_output.txt
+import json
+trace = json.load(open("trace_output.json"))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+assert any(e.get("ph") == "X" for e in events), "trace has no spans"
+c = json.load(open("trace_counters.json"))
+breakdown = c["report"]["cycle_breakdown"]
+cycles = c["trace"]["category_cycles"]
+pegs = c["trace"]["peg_matrix_stream_cycles"]
+for key, want in breakdown.items():
+    if key in ("total", "matrix_stream"):
+        continue
+    assert cycles[key] == want, f"{key}: trace {cycles[key]} != report {want}"
+assert pegs and all(p == breakdown["matrix_stream"] for p in pegs), \
+    "per-PEG stream cycles disagree with the breakdown"
+assert sum(cycles.values()) - sum(pegs) + breakdown["matrix_stream"] \
+    == breakdown["total"], "trace does not sum to the cycle total"
+print(f"TRACE OK: {len(events)} events reconcile with "
+      f"{breakdown['total']} cycles across {len(pegs)} PEG tracks")
+EOF
+fi
+
 # Static analysis gate, when the toolchain provides clang-tidy (the
 # profile lives in .clang-tidy; bugprone-*, concurrency-*, performance-*).
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace chason {
 namespace arch {
@@ -22,6 +23,33 @@ std::uint64_t
 denseBeats(std::uint64_t words)
 {
     return (words + kDenseWordsPerBeat - 1) / kDenseWordsPerBeat;
+}
+
+/**
+ * Emit one device span onto the simulated-cycle timeline. Spans with
+ * zero duration are dropped: they carry no cycles, and skipping them
+ * keeps traces compact without affecting the attribution sums.
+ */
+void
+deviceSpan(trace::TraceSink *sink, const char *name, trace::Category cat,
+           std::uint32_t track, std::uint64_t begin, std::uint64_t dur,
+           const char *arg_name0 = nullptr, std::uint64_t arg0 = 0,
+           const char *arg_name1 = nullptr, std::uint64_t arg1 = 0)
+{
+    if (!sink || dur == 0)
+        return;
+    trace::SpanEvent span;
+    span.name = name;
+    span.cat = cat;
+    span.track = track;
+    span.device = true;
+    span.begin = static_cast<double>(begin);
+    span.dur = static_cast<double>(dur);
+    span.argName0 = arg_name0;
+    span.argVal0 = arg0;
+    span.argName1 = arg_name1;
+    span.argVal1 = arg1;
+    sink->recordSpan(std::move(span));
 }
 
 } // namespace
@@ -86,6 +114,14 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
     const sched::LaneMap map(sc);
     const double freq = frequencyMhz();
     const double mem_factor = memoryStallFactor(config_.hbm, freq);
+
+    // Tracing: null (and folded away under -DCHASON_TRACE=OFF) unless
+    // the calling thread is inside a trace::ScopedSink. sim_now is the
+    // span cursor on the simulated-cycle timeline; it advances exactly
+    // in step with the CycleBreakdown accumulation so the attribution
+    // invariant (trace/attribution.h) holds by construction.
+    trace::TraceSink *sink = trace::activeSink();
+    std::uint64_t sim_now = 0;
 
     RunResult result;
     result.traffic = hbm::HbmDevice(config_.hbm);
@@ -169,13 +205,22 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
                                        hbm::Direction::Read, y_beats);
         }
         result.cycles.writeback += y_cycles;
+        deviceSpan(sink, "y_writeback", trace::Category::Writeback,
+                   trace::kTrackSequencer, sim_now, y_cycles, "pass",
+                   pass, "y_beats", y_beats);
+        sim_now += y_cycles;
         if (with_reduction && migration_depth > 0) {
             const std::uint64_t sweep =
                 static_cast<std::uint64_t>(sc.pesPerGroup()) * depth *
                 migration_depth;
-            result.cycles.reduction +=
+            const std::uint64_t red_cycles =
                 (sweep > y_cycles ? sweep - y_cycles : 0) +
                 config_.timing.reductionTreeLatency;
+            result.cycles.reduction += red_cycles;
+            deviceSpan(sink, "scug_reduction", trace::Category::Reduction,
+                       trace::kTrackSequencer, sim_now, red_cycles,
+                       "pass", pass, "sweep_addresses", sweep);
+            sim_now += red_cycles;
         }
     };
 
@@ -206,12 +251,18 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
         const std::uint64_t x_cycles = streamCycles(x_beats, mem_factor);
         const std::uint64_t stream_cycles =
             streamCycles(phase.alignedBeats, mem_factor);
+        std::uint64_t exposed_x = 0;
         if (first_phase) {
-            result.cycles.xLoad += x_cycles;
+            exposed_x = x_cycles;
             first_phase = false;
         } else if (x_cycles > stream_cycles) {
-            result.cycles.xLoad += x_cycles - stream_cycles;
+            exposed_x = x_cycles - stream_cycles;
         }
+        result.cycles.xLoad += exposed_x;
+        deviceSpan(sink, "x_window_load", trace::Category::XLoad,
+                   trace::kTrackSequencer, sim_now, exposed_x, "window",
+                   phase.window, "x_beats", x_beats);
+        sim_now += exposed_x;
 
         // Matrix streaming: all channels in lockstep for alignedBeats.
         for (unsigned ch = 0; ch < sc.channels; ++ch) {
@@ -227,14 +278,51 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
             }
             result.traffic.recordBeats(ch, hbm::Direction::Read,
                                        phase.alignedBeats);
+
+            // Per-PEG busy/stall split of this phase's streaming
+            // window. A beat is busy when the channel's own list has a
+            // valid slot in it; the lockstep padding up to alignedBeats
+            // and all-stall beats are the stalls CrHCS exists to fill
+            // (Fig. 2). busy + stall == stream_cycles exactly, so each
+            // PEG track sums to CycleBreakdown::matrixStream.
+            if (sink) {
+                std::uint64_t busy_beats = 0;
+                std::uint64_t valid_slots = 0;
+                for (const sched::Beat &beat : cws.beats) {
+                    const unsigned valid =
+                        beat.validCount(sc.pesPerGroup());
+                    busy_beats += valid > 0 ? 1 : 0;
+                    valid_slots += valid;
+                }
+                const std::uint64_t busy = std::min(
+                    streamCycles(busy_beats, mem_factor), stream_cycles);
+                const std::uint64_t stall = stream_cycles - busy;
+                deviceSpan(sink, "stream_busy",
+                           trace::Category::MatrixStream, ch, sim_now,
+                           busy, "valid_slots", valid_slots, "beats",
+                           busy_beats);
+                deviceSpan(sink, "stream_stall",
+                           trace::Category::MatrixStream, ch,
+                           sim_now + busy, stall, "stall_beats",
+                           phase.alignedBeats - busy_beats);
+            }
         }
         result.cycles.matrixStream += stream_cycles;
+        sim_now += stream_cycles;
         result.cycles.pipelineFill += config_.timing.pipelineFillCycles;
+        deviceSpan(sink, "window_switch", trace::Category::PipelineFill,
+                   trace::kTrackSequencer, sim_now,
+                   config_.timing.pipelineFillCycles, "pass", phase.pass,
+                   "window", phase.window);
+        sim_now += config_.timing.pipelineFillCycles;
 
         // One descriptor beat on the instruction channel per phase.
         result.traffic.recordBeats(config_.instChannel(),
                                    hbm::Direction::Read, 1);
         result.cycles.instStream += 1;
+        deviceSpan(sink, "descriptor", trace::Category::InstStream,
+                   trace::kTrackSequencer, sim_now, 1);
+        sim_now += 1;
 
         // The pipeline drains between phases, which also clears RAW
         // hazards across the boundary.
@@ -246,6 +334,9 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
 
     result.cycles.launch = static_cast<std::uint64_t>(
         std::ceil(config_.timing.launchOverheadUs * freq));
+    deviceSpan(sink, "kernel_launch", trace::Category::Launch,
+               trace::kTrackSequencer, sim_now, result.cycles.launch);
+    sim_now += result.cycles.launch;
 
     result.latencyUs =
         static_cast<double>(result.cycles.total()) / freq;

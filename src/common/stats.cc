@@ -115,10 +115,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double sample)
 {
-    double clamped = std::clamp(sample, lo_, hi_);
-    auto bin = static_cast<std::size_t>((clamped - lo_) / width_);
-    if (bin >= counts_.size())
+    // Edge samples are placed explicitly: anything at or below lo
+    // lands in bin 0, anything at or above hi in the last bin. The
+    // division path is only ever used strictly inside (lo, hi), where
+    // rounding in (hi - lo) / bins can still push a sample just under
+    // a bin boundary over it, so the result is clamped as well.
+    std::size_t bin;
+    if (sample <= lo_) {
+        bin = 0;
+    } else if (sample >= hi_) {
         bin = counts_.size() - 1;
+    } else {
+        bin = static_cast<std::size_t>((sample - lo_) / width_);
+        if (bin >= counts_.size())
+            bin = counts_.size() - 1;
+    }
     ++counts_[bin];
     ++total_;
 }

@@ -5,6 +5,8 @@
 
 #include "core/batch_engine.h"
 
+#include <optional>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "sparse/generators.h"
@@ -15,7 +17,8 @@ namespace core {
 
 BatchEngine::BatchEngine(BatchOptions options)
     : verifySchedules_(options.verifySchedules),
-      cache_(options.cacheBudgetBytes), pool_(options.workers)
+      traceSink_(options.traceSink), cache_(options.cacheBudgetBytes),
+      pool_(options.workers)
 {
 }
 
@@ -45,6 +48,18 @@ BatchEngine::runJob(std::size_t index)
         // pointer stays valid while further jobs are submitted.
         job = &jobs_[index];
     }
+
+    // Activate the batch's sink on this worker for the job's duration:
+    // everything the job triggers (scheduling, cache traffic, the
+    // simulator's device spans) is recorded. No-op without a sink.
+    std::optional<trace::ScopedSink> scope;
+    if (traceSink_) {
+        scope.emplace(*traceSink_);
+        traceSink_->sampleCounter(
+            "thread_pool.queue_depth",
+            static_cast<double>(pool_.queueDepth()));
+    }
+    trace::HostSpan span("job:" + job->dataset);
 
     const Engine engine(job->kind, job->config);
     Rng rng(job->xSeed);
@@ -79,7 +94,17 @@ void
 BatchEngine::parallelFor(std::size_t n,
                          const std::function<void(std::size_t)> &body)
 {
-    pool_.parallelFor(n, body);
+    if (!traceSink_) {
+        pool_.parallelFor(n, body);
+        return;
+    }
+    pool_.parallelFor(n, [this, &body](std::size_t i) {
+        trace::ScopedSink scope(*traceSink_);
+        traceSink_->sampleCounter(
+            "thread_pool.queue_depth",
+            static_cast<double>(pool_.queueDepth()));
+        body(i);
+    });
 }
 
 std::shared_ptr<const sched::Schedule>

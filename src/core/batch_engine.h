@@ -39,6 +39,7 @@
 #include "core/engine.h"
 #include "core/schedule_cache.h"
 #include "core/thread_pool.h"
+#include "trace/trace.h"
 
 namespace chason {
 namespace core {
@@ -60,6 +61,15 @@ struct BatchOptions
      * --verify.
      */
     bool verifySchedules = false;
+
+    /**
+     * When set, every job/parallelFor body runs inside a
+     * trace::ScopedSink on this sink: simulator device spans, cache
+     * events, scheduler phase timings, job lifecycle spans and
+     * queue-depth samples all land here. Tools expose this as --trace.
+     * The sink must outlive the engine.
+     */
+    trace::TraceSink *traceSink = nullptr;
 };
 
 /** One self-contained unit of batch work. */
@@ -168,6 +178,7 @@ class BatchEngine
                      std::uint32_t capacityRowsPerLane);
 
     bool verifySchedules_;
+    trace::TraceSink *traceSink_;
     ScheduleCache cache_;
     std::mutex verifiedMutex_; ///< guards verified_
     // Schedules already verified, keyed by instance; weak_ptr detects

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "sched/crhcs.h"
 #include "sched/pe_aware.h"
+#include "trace/trace.h"
 
 namespace chason {
 namespace core {
@@ -36,6 +37,7 @@ Engine::Engine(Kind kind, arch::ArchConfig config)
 sched::Schedule
 Engine::schedule(const sparse::CsrMatrix &a) const
 {
+    trace::HostSpan span("schedule:" + scheduler_->name());
     return scheduler_->schedule(a);
 }
 
@@ -56,7 +58,13 @@ Engine::runScheduled(const sched::Schedule &schedule,
                      std::vector<float> *y_out,
                      const arch::SpmvParams &params) const
 {
-    const arch::RunResult run = accel_->run(schedule, x, params);
+    std::optional<arch::RunResult> run_result;
+    {
+        trace::HostSpan span("simulate:" + accel_->name() +
+                             (dataset.empty() ? "" : ":" + dataset));
+        run_result = accel_->run(schedule, x, params);
+    }
+    const arch::RunResult &run = *run_result;
     const sched::ScheduleStats stats = sched::analyze(schedule);
 
     SpmvReport report;

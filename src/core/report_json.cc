@@ -131,6 +131,21 @@ jsonEscape(const std::string &raw)
 }
 
 std::string
+toJson(const arch::CycleBreakdown &cycles)
+{
+    JsonObject obj;
+    obj.field("matrix_stream", cycles.matrixStream)
+        .field("x_load", cycles.xLoad)
+        .field("pipeline_fill", cycles.pipelineFill)
+        .field("reduction", cycles.reduction)
+        .field("writeback", cycles.writeback)
+        .field("inst_stream", cycles.instStream)
+        .field("launch", cycles.launch)
+        .field("total", cycles.total());
+    return obj.str();
+}
+
+std::string
 toJson(const SpmvReport &report)
 {
     JsonObject obj;
@@ -142,6 +157,7 @@ toJson(const SpmvReport &report)
         .field("nnz", static_cast<std::uint64_t>(report.nnz))
         .field("frequency_mhz", report.frequencyMhz)
         .field("cycles", report.cycles)
+        .rawField("cycle_breakdown", toJson(report.cycleBreakdown))
         .field("latency_ms", report.latencyMs)
         .field("gflops", report.gflops)
         .field("power_w", report.powerW)

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "arch/timing.h"
 #include "core/engine.h"
 #include "core/schedule_cache.h"
 #include "core/spmm.h"
@@ -25,6 +26,9 @@ std::string jsonEscape(const std::string &raw);
 
 /** One SpMV report as a JSON object. */
 std::string toJson(const SpmvReport &report);
+
+/** A cycle breakdown as a JSON object (snake_case category keys). */
+std::string toJson(const arch::CycleBreakdown &cycles);
 
 /** One SpMM report as a JSON object. */
 std::string toJson(const SpmmReport &report);

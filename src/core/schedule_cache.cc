@@ -7,6 +7,7 @@
 
 #include "common/bitfield.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace chason {
 namespace core {
@@ -75,6 +76,7 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
                    const sparse::CsrMatrix &a)
 {
     const ScheduleKey key = scheduleKey(scheduler, a);
+    trace::TraceSink *sink = trace::activeSink();
 
     std::promise<SchedulePtr> promise;
     {
@@ -87,6 +89,11 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
             lru_.splice(lru_.begin(), lru_, it->second.lruIt);
             std::shared_future<SchedulePtr> future = it->second.future;
             lock.unlock();
+            if (sink) {
+                sink->addCounter("schedule_cache.hits");
+                sink->recordInstant("cache_hit", trace::hostTrack(),
+                                    sink->nowUs());
+            }
             return future.get();
         }
 
@@ -97,24 +104,39 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
         entry.lruIt = lru_.begin();
         entries_.emplace(key, std::move(entry));
     }
+    if (sink) {
+        sink->addCounter("schedule_cache.misses");
+        sink->recordInstant("cache_miss", trace::hostTrack(),
+                            sink->nowUs());
+    }
 
     // Schedule outside the lock: this is the expensive part and the
     // whole point of running jobs concurrently.
-    auto schedule = std::make_shared<const sched::Schedule>(
-        scheduler.schedule(a));
+    SchedulePtr schedule;
+    {
+        trace::HostSpan span("schedule:" + scheduler.name());
+        schedule = std::make_shared<const sched::Schedule>(
+            scheduler.schedule(a));
+    }
     const std::size_t bytes = schedule->memoryBytes();
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
-        // clear() may have dropped the pending entry; then the result
-        // is handed to waiters but no longer cached.
-        if (it != entries_.end() && !it->second.ready) {
+        // The filling thread owns the pending entry until this point:
+        // neither clear() nor eviction touches a !ready entry, so the
+        // lookup must succeed. Guard re-insertion anyway — if a future
+        // change makes an entry ready twice, adding its bytes twice
+        // would corrupt residentBytes_ permanently.
+        chason_assert(it != entries_.end(),
+                      "in-flight cache entry disappeared");
+        if (!it->second.ready) {
             it->second.ready = true;
             it->second.bytes = bytes;
             residentBytes_ += bytes;
             enforceBudgetLocked();
         }
+        debugCheckConsistencyLocked();
     }
     promise.set_value(schedule);
     return schedule;
@@ -123,6 +145,7 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
 void
 ScheduleCache::enforceBudgetLocked()
 {
+    trace::TraceSink *sink = trace::activeSink();
     auto it = lru_.end();
     while (residentBytes_ > budgetBytes_ && it != lru_.begin()) {
         --it;
@@ -132,11 +155,69 @@ ScheduleCache::enforceBudgetLocked()
         chason_assert(entryIt != entries_.end(), "LRU/map out of sync");
         if (!entryIt->second.ready)
             continue; // in flight: bytes unknown, cannot evict
+        chason_assert(residentBytes_ >= entryIt->second.bytes,
+                      "resident bytes underflow on eviction");
         residentBytes_ -= entryIt->second.bytes;
         it = lru_.erase(it);
         entries_.erase(entryIt);
         ++evictions_;
+        if (sink) {
+            sink->addCounter("schedule_cache.evictions");
+            sink->recordInstant("cache_evict", trace::hostTrack(),
+                                sink->nowUs());
+        }
     }
+}
+
+void
+ScheduleCache::debugCheckConsistencyLocked() const
+{
+#ifndef NDEBUG
+    std::size_t ready_bytes = 0;
+    std::size_t ready_entries = 0;
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        if (entry.ready) {
+            ready_bytes += entry.bytes;
+            ++ready_entries;
+        } else {
+            chason_assert(entry.bytes == 0,
+                          "in-flight entry carries resident bytes");
+        }
+    }
+    (void)ready_entries;
+    chason_assert(ready_bytes == residentBytes_,
+                  "residentBytes_ %zu != sum of ready entry bytes %zu",
+                  residentBytes_, ready_bytes);
+    chason_assert(lru_.size() == entries_.size(),
+                  "LRU list (%zu) and entry map (%zu) diverged",
+                  lru_.size(), entries_.size());
+    for (const ScheduleKey &key : lru_)
+        chason_assert(entries_.count(key) == 1,
+                      "LRU key missing from the entry map");
+#endif
+}
+
+bool
+ScheduleCache::debugCheckConsistency() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t ready_bytes = 0;
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        if (entry.ready)
+            ready_bytes += entry.bytes;
+        else if (entry.bytes != 0)
+            return false;
+    }
+    if (ready_bytes != residentBytes_)
+        return false;
+    if (lru_.size() != entries_.size())
+        return false;
+    for (const ScheduleKey &key : lru_)
+        if (entries_.count(key) != 1)
+            return false;
+    return true;
 }
 
 ScheduleCacheStats
@@ -165,7 +246,11 @@ ScheduleCache::clear()
             ++it; // in flight: the filling thread still owns it
         }
     }
+    // Only ready entries contribute to residentBytes_, and all of them
+    // were just dropped; in-flight entries add their bytes when they
+    // complete.
     residentBytes_ = 0;
+    debugCheckConsistencyLocked();
 }
 
 } // namespace core

@@ -123,6 +123,14 @@ class ScheduleCache
     /** Drop every resident entry (counters are kept). */
     void clear();
 
+    /**
+     * Byte-accounting consistency check for tests: residentBytes_
+     * equals the sum of ready entry bytes, the LRU list and the entry
+     * map agree. Debug builds additionally run this (fatally) after
+     * every mutation.
+     */
+    bool debugCheckConsistency() const;
+
   private:
     struct KeyHash
     {
@@ -147,6 +155,9 @@ class ScheduleCache
 
     /** Evict ready LRU entries until the budget holds. Lock held. */
     void enforceBudgetLocked();
+
+    /** Fatal consistency check after mutations; no-op in NDEBUG. */
+    void debugCheckConsistencyLocked() const;
 
     mutable std::mutex mutex_;
     std::size_t budgetBytes_;

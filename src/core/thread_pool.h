@@ -51,6 +51,18 @@ class ThreadPool
         return static_cast<unsigned>(threads_.size());
     }
 
+    /**
+     * Tasks queued but not yet picked up by a worker — a load signal
+     * the tracing layer samples as the `thread_pool.queue_depth`
+     * counter. Momentary by nature: the value may be stale the moment
+     * it returns.
+     */
+    std::size_t queueDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
     /** Enqueue one task for execution on some worker. */
     void post(std::function<void()> task);
 
@@ -75,7 +87,7 @@ class ThreadPool
     void workerLoop();
     bool runOneTask(std::unique_lock<std::mutex> &lock);
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allDone_;
     std::deque<std::function<void()>> queue_;

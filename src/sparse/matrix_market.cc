@@ -28,13 +28,36 @@ lower(std::string s)
     return s;
 }
 
+/**
+ * getline tolerating CRLF files: strips one trailing '\r' so that a
+ * Windows-written .mtx parses identically to a Unix one. Token reads
+ * (operator>>) already treat '\r' as whitespace; only the getline'd
+ * header/comment lines need the trim.
+ */
+bool
+getlineTrimCr(std::istream &in, std::string &line)
+{
+    if (!std::getline(in, line))
+        return false;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return true;
+}
+
+/** Index of the first non-blank character, or npos for blank lines. */
+std::size_t
+firstNonBlank(const std::string &line)
+{
+    return line.find_first_not_of(" \t\v\f");
+}
+
 } // namespace
 
 CooMatrix
 readMatrixMarket(std::istream &in)
 {
     std::string line;
-    if (!std::getline(in, line))
+    if (!getlineTrimCr(in, line))
         chason_fatal("matrix market: empty stream");
 
     std::istringstream banner(line);
@@ -57,13 +80,16 @@ readMatrixMarket(std::istream &in)
                      symmetry.c_str());
     }
 
-    // Skip comments.
+    // Skip comments. Real-world writers also leave blank lines and
+    // indent comments, so the size line is the first line whose first
+    // non-blank character is not '%'.
     bool haveSizeLine = false;
-    while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%') {
-            haveSizeLine = true;
-            break;
-        }
+    while (getlineTrimCr(in, line)) {
+        const std::size_t pos = firstNonBlank(line);
+        if (pos == std::string::npos || line[pos] == '%')
+            continue;
+        haveSizeLine = true;
+        break;
     }
     if (!haveSizeLine)
         chason_fatal("matrix market: truncated before size line");

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle-attribution checker implementation.
+ */
+
+#include "trace/attribution.h"
+
+#include <cstdio>
+
+namespace chason {
+namespace trace {
+
+namespace {
+
+AttributionCheck
+mismatch(const char *what, std::uint64_t traced, std::uint64_t expected)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: traced %llu cycles, breakdown says %llu", what,
+                  static_cast<unsigned long long>(traced),
+                  static_cast<unsigned long long>(expected));
+    return {false, buf};
+}
+
+} // namespace
+
+AttributionCheck
+checkCycleAttribution(const TraceSink &sink, const CycleTotals &expected,
+                      unsigned pegTracks)
+{
+    const auto totals = sink.categoryCycles();
+    const struct
+    {
+        Category cat;
+        std::uint64_t want;
+    } clauses[] = {
+        {Category::MatrixStream, expected.matrixStream},
+        {Category::XLoad, expected.xLoad},
+        {Category::PipelineFill, expected.pipelineFill},
+        {Category::Reduction, expected.reduction},
+        {Category::Writeback, expected.writeback},
+        {Category::InstStream, expected.instStream},
+        {Category::Launch, expected.launch},
+    };
+    for (const auto &clause : clauses) {
+        const char *name = categoryName(clause.cat);
+        const auto it = totals.find(name);
+        std::uint64_t got = it == totals.end() ? 0 : it->second;
+        // Clause 1 counts matrix streaming once; the per-PEG spans
+        // repeat it per channel, so normalize before comparing.
+        if (clause.cat == Category::MatrixStream && pegTracks > 0)
+            got /= pegTracks;
+        if (got != clause.want)
+            return mismatch(name, got, clause.want);
+    }
+
+    if (pegTracks > 0) {
+        const auto per_peg = sink.pegStreamCycles();
+        for (unsigned t = 0; t < pegTracks; ++t) {
+            const auto it = per_peg.find(t);
+            const std::uint64_t got =
+                it == per_peg.end() ? 0 : it->second;
+            if (got != expected.matrixStream) {
+                char what[48];
+                std::snprintf(what, sizeof(what), "PEG %u matrix_stream",
+                              t);
+                return mismatch(what, got, expected.matrixStream);
+            }
+        }
+    }
+    return {true, ""};
+}
+
+} // namespace trace
+} // namespace chason

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The cycle-attribution invariant.
+ *
+ * Every device span a simulator run emits carries a category mirroring
+ * one arch::CycleBreakdown field. The invariant checked here is the
+ * property the whole tracing layer is trusted for: nothing is counted
+ * twice and nothing is dropped —
+ *
+ *   1. per category, the sum of device-span cycles equals the
+ *      breakdown field;
+ *   2. per PEG track, the matrix-stream spans (busy + stall) sum to
+ *      the breakdown's matrixStream total (all PEGs stream in
+ *      lockstep for alignedBeats, Section 3.1).
+ *
+ * The checker takes a plain CycleTotals mirror instead of
+ * arch::CycleBreakdown so the trace library stays below arch in the
+ * dependency order; callers copy the fields over (see chason_trace).
+ */
+
+#ifndef CHASON_TRACE_ATTRIBUTION_H_
+#define CHASON_TRACE_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace chason {
+namespace trace {
+
+/** Field-by-field mirror of arch::CycleBreakdown. */
+struct CycleTotals
+{
+    std::uint64_t matrixStream = 0;
+    std::uint64_t xLoad = 0;
+    std::uint64_t pipelineFill = 0;
+    std::uint64_t reduction = 0;
+    std::uint64_t writeback = 0;
+    std::uint64_t instStream = 0;
+    std::uint64_t launch = 0;
+};
+
+/** Outcome of an attribution check. */
+struct AttributionCheck
+{
+    bool ok = true;
+    std::string message; ///< first mismatch, empty when ok
+};
+
+/**
+ * Verify the attribution invariant of @p sink against @p expected.
+ * @p pegTracks is the number of matrix channels (PEG tracks) the run
+ * used; pass 0 to skip the per-PEG clause (e.g. for merged sinks that
+ * aggregate several runs, where only clause 1 is meaningful).
+ */
+AttributionCheck checkCycleAttribution(const TraceSink &sink,
+                                       const CycleTotals &expected,
+                                       unsigned pegTracks);
+
+} // namespace trace
+} // namespace chason
+
+#endif // CHASON_TRACE_ATTRIBUTION_H_

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * TraceSink and scoped-activation implementation.
+ */
+
+#include "trace/trace.h"
+
+#include <atomic>
+
+namespace chason {
+namespace trace {
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::MatrixStream:
+        return "matrix_stream";
+      case Category::XLoad:
+        return "x_load";
+      case Category::PipelineFill:
+        return "pipeline_fill";
+      case Category::Reduction:
+        return "reduction";
+      case Category::Writeback:
+        return "writeback";
+      case Category::InstStream:
+        return "inst_stream";
+      case Category::Launch:
+        return "launch";
+      case Category::Host:
+        return "host";
+      case Category::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+TraceSink::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+TraceSink::recordSpan(SpanEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(event));
+}
+
+void
+TraceSink::recordInstant(std::string name, std::uint32_t track,
+                         double ts_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    instants_.push_back({std::move(name), track, ts_us});
+}
+
+void
+TraceSink::addCounter(const std::string &name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+TraceSink::sampleCounter(const std::string &name, double value)
+{
+    const double ts = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back({name, ts, value});
+}
+
+std::vector<SpanEvent>
+TraceSink::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::vector<InstantEvent>
+TraceSink::instants() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instants_;
+}
+
+std::vector<CounterSample>
+TraceSink::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+std::map<std::string, std::uint64_t>
+TraceSink::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::map<std::string, std::uint64_t>
+TraceSink::categoryCycles() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::uint64_t> totals;
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(Category::Host); ++c)
+        totals[categoryName(static_cast<Category>(c))] = 0;
+    for (const SpanEvent &s : spans_) {
+        if (s.device && s.cat != Category::Host)
+            totals[categoryName(s.cat)] +=
+                static_cast<std::uint64_t>(s.dur);
+    }
+    return totals;
+}
+
+std::map<std::uint32_t, std::uint64_t>
+TraceSink::pegStreamCycles() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::uint32_t, std::uint64_t> totals;
+    for (const SpanEvent &s : spans_) {
+        if (s.device && s.cat == Category::MatrixStream)
+            totals[s.track] += static_cast<std::uint64_t>(s.dur);
+    }
+    return totals;
+}
+
+bool
+TraceSink::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.empty() && instants_.empty() && samples_.empty() &&
+        counters_.empty();
+}
+
+#if CHASON_TRACE_ENABLED
+
+namespace {
+
+thread_local TraceSink *tls_sink = nullptr;
+
+std::uint32_t
+nextHostTrack()
+{
+    static std::atomic<std::uint32_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+TraceSink *
+activeSink()
+{
+    return tls_sink;
+}
+
+ScopedSink::ScopedSink(TraceSink &sink) : prev_(tls_sink)
+{
+    tls_sink = &sink;
+}
+
+ScopedSink::~ScopedSink()
+{
+    tls_sink = prev_;
+}
+
+std::uint32_t
+hostTrack()
+{
+    thread_local std::uint32_t id = nextHostTrack();
+    return id;
+}
+
+HostSpan::HostSpan(std::string name)
+    : sink_(tls_sink), name_(std::move(name))
+{
+    if (sink_)
+        beginUs_ = sink_->nowUs();
+}
+
+HostSpan::~HostSpan()
+{
+    if (!sink_)
+        return;
+    SpanEvent span;
+    span.name = std::move(name_);
+    span.cat = Category::Host;
+    span.track = hostTrack();
+    span.device = false;
+    span.begin = beginUs_;
+    span.dur = sink_->nowUs() - beginUs_;
+    sink_->recordSpan(std::move(span));
+}
+
+#endif // CHASON_TRACE_ENABLED
+
+} // namespace trace
+} // namespace chason

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Cycle-level tracing and performance counters.
+ *
+ * The paper's argument is about *where* cycles go: CrHCS exists to fill
+ * the stall slots PE-aware scheduling leaves behind (Fig. 2), and the
+ * evaluation attributes every cycle to a pipeline activity (Eq. 4,
+ * Figs. 11-13). This layer makes that attribution observable per run
+ * instead of only as end-of-run aggregates: the simulator emits spans
+ * on a simulated-cycle timeline (one track per PEG plus a sequencer
+ * track), the host side emits wall-clock spans (scheduler phases,
+ * batch-job lifecycle) and counters (schedule-cache hits/misses/
+ * evictions, thread-pool queue depth), and exporters turn a sink into
+ * Chrome trace_event JSON (chrome://tracing, Perfetto) or a flat
+ * counters object merged into report JSON.
+ *
+ * Activation is scoped and thread-local: instrumentation sites do
+ * nothing unless the current thread entered a trace::ScopedSink. With
+ * -DCHASON_TRACE=OFF the activation query is a constexpr nullptr, so
+ * every `if (auto *s = trace::activeSink())` block is dead code and
+ * the hot loops compile exactly as before.
+ *
+ * Invariant (checked by trace/attribution.h and the chason_trace CLI):
+ * the sum of device-span cycles per category equals the corresponding
+ * arch::CycleBreakdown field, and every PEG track's matrix-stream
+ * spans (busy + stall) sum to the breakdown's matrixStream total.
+ *
+ * Thread safety: TraceSink record/query methods may be called from any
+ * number of threads. The active-sink registration itself is per-thread.
+ */
+
+#ifndef CHASON_TRACE_TRACE_H_
+#define CHASON_TRACE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/** Compile-time gate; the build sets CHASON_TRACE_ENABLED=0 for
+ *  -DCHASON_TRACE=OFF trees. Default: enabled. */
+#ifndef CHASON_TRACE_ENABLED
+#define CHASON_TRACE_ENABLED 1
+#endif
+
+namespace chason {
+namespace trace {
+
+/** True when the library was built with tracing compiled in. */
+constexpr bool kEnabled = CHASON_TRACE_ENABLED != 0;
+
+/**
+ * Span categories. The first seven mirror arch::CycleBreakdown field
+ * by field — the cycle-attribution invariant is stated over them.
+ * Host is the wall-clock category (scheduler phases, job lifecycle).
+ */
+enum class Category : unsigned
+{
+    MatrixStream, ///< matrix channel streaming (busy + stall)
+    XLoad,        ///< dense vector window loads
+    PipelineFill, ///< per-phase fill/drain (window switch)
+    Reduction,    ///< ScUG reduction sweeps
+    Writeback,    ///< y read + write streaming
+    InstStream,   ///< instruction/descriptor channel
+    Launch,       ///< host dispatch share
+    Host,         ///< wall-clock host-side work
+    kCount
+};
+
+/** Stable snake_case name, matching the report-JSON breakdown keys. */
+const char *categoryName(Category cat);
+
+/** Device track of the shared sequencer (x loader, fill, writeback). */
+constexpr std::uint32_t kTrackSequencer = 0xffffu;
+
+/**
+ * One span. Device spans (`device == true`) carry simulated-cycle
+ * timestamps (`begin`/`dur` in kernel cycles); host spans carry
+ * microseconds since the sink's construction.
+ */
+struct SpanEvent
+{
+    std::string name;
+    Category cat = Category::Host;
+    std::uint32_t track = 0; ///< PEG index, kTrackSequencer, or host thread
+    bool device = false;
+    double begin = 0.0;
+    double dur = 0.0;
+
+    /** Optional numeric arguments (argName* null = absent). */
+    const char *argName0 = nullptr;
+    std::uint64_t argVal0 = 0;
+    const char *argName1 = nullptr;
+    std::uint64_t argVal1 = 0;
+};
+
+/** A zero-duration marker (cache hit/miss/evict, job enqueue). */
+struct InstantEvent
+{
+    std::string name;
+    std::uint32_t track = 0;
+    double tsUs = 0.0;
+};
+
+/** One time-stamped sample of a sampled counter (queue depth). */
+struct CounterSample
+{
+    std::string name;
+    double tsUs = 0.0;
+    double value = 0.0;
+};
+
+/**
+ * Collects spans, instants, monotonic counters and counter samples.
+ * Cheap to create; owns everything it records.
+ */
+class TraceSink
+{
+  public:
+    TraceSink();
+
+    /** Microseconds since this sink was constructed (steady clock). */
+    double nowUs() const;
+
+    void recordSpan(SpanEvent event);
+    void recordInstant(std::string name, std::uint32_t track, double ts_us);
+
+    /** Bump a named monotonic counter. */
+    void addCounter(const std::string &name, std::uint64_t delta = 1);
+
+    /** Record one time-stamped sample of a sampled counter. */
+    void sampleCounter(const std::string &name, double value);
+
+    std::vector<SpanEvent> spans() const;
+    std::vector<InstantEvent> instants() const;
+    std::vector<CounterSample> samples() const;
+    std::map<std::string, std::uint64_t> counters() const;
+
+    /** Total device-span cycles per category (Host excluded). */
+    std::map<std::string, std::uint64_t> categoryCycles() const;
+
+    /**
+     * Per-track total of device MatrixStream span cycles, keyed by
+     * track id — one entry per PEG that streamed.
+     */
+    std::map<std::uint32_t, std::uint64_t> pegStreamCycles() const;
+
+    bool empty() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<SpanEvent> spans_;
+    std::vector<InstantEvent> instants_;
+    std::vector<CounterSample> samples_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+#if CHASON_TRACE_ENABLED
+
+/** The sink the current thread records into; nullptr when inactive. */
+TraceSink *activeSink();
+
+/**
+ * Activate @p sink on the constructing thread for the scope's
+ * lifetime; restores the previous active sink on destruction. Worker
+ * threads (core::BatchEngine) enter one per job.
+ */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(TraceSink &sink);
+    ~ScopedSink();
+
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+/**
+ * RAII wall-clock span: records [construction, destruction) on the
+ * sink active at construction time; inert when none is.
+ */
+class HostSpan
+{
+  public:
+    explicit HostSpan(std::string name);
+    ~HostSpan();
+
+    HostSpan(const HostSpan &) = delete;
+    HostSpan &operator=(const HostSpan &) = delete;
+
+  private:
+    TraceSink *sink_;
+    std::string name_;
+    double beginUs_ = 0.0;
+};
+
+/** Stable per-thread track id for host spans (0, 1, 2, ... in order of
+ *  first use). */
+std::uint32_t hostTrack();
+
+#else // !CHASON_TRACE_ENABLED — every query folds to "no sink".
+
+constexpr TraceSink *
+activeSink()
+{
+    return nullptr;
+}
+
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(TraceSink &) {}
+};
+
+class HostSpan
+{
+  public:
+    explicit HostSpan(std::string) {}
+};
+
+constexpr std::uint32_t
+hostTrack()
+{
+    return 0;
+}
+
+#endif // CHASON_TRACE_ENABLED
+
+} // namespace trace
+} // namespace chason
+
+#endif // CHASON_TRACE_TRACE_H_

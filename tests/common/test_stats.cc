@@ -51,6 +51,48 @@ TEST(SummaryStats, Percentiles)
     EXPECT_NEAR(st.percentile(25), 25.0, 1e-9);
 }
 
+TEST(SummaryStats, PercentileExtremesAndTwoSamples)
+{
+    SummaryStats st;
+    st.add({3.0, 7.0});
+    // p=0 / p=100 are exactly min / max, no interpolation residue.
+    EXPECT_DOUBLE_EQ(st.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(st.percentile(100.0), 7.0);
+    // Linear interpolation between the only two samples.
+    EXPECT_DOUBLE_EQ(st.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(st.percentile(25.0), 4.0);
+    EXPECT_DOUBLE_EQ(st.percentile(75.0), 6.0);
+}
+
+TEST(SummaryStats, PercentileSingleSample)
+{
+    SummaryStats st;
+    st.add(42.0);
+    EXPECT_DOUBLE_EQ(st.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(st.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(st.percentile(100.0), 42.0);
+}
+
+TEST(SummaryStats, PercentileDuplicateHeavy)
+{
+    // 90 copies of 1.0 and 10 of 2.0: every percentile through the
+    // duplicate mass must return the duplicate, and p=100 the max.
+    SummaryStats st;
+    for (int i = 0; i < 90; ++i)
+        st.add(1.0);
+    for (int i = 0; i < 10; ++i)
+        st.add(2.0);
+    EXPECT_DOUBLE_EQ(st.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(st.percentile(50.0), 1.0);
+    EXPECT_DOUBLE_EQ(st.percentile(80.0), 1.0);
+    EXPECT_DOUBLE_EQ(st.percentile(100.0), 2.0);
+    // All-duplicates: interpolation between equal neighbours is exact.
+    SummaryStats dup;
+    dup.add({5.0, 5.0, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(dup.percentile(33.3), 5.0);
+    EXPECT_DOUBLE_EQ(dup.percentile(66.6), 5.0);
+}
+
 TEST(SummaryStats, StddevKnown)
 {
     SummaryStats st;
@@ -88,6 +130,38 @@ TEST(Histogram, ClampsOutOfRange)
     h.add(1e9);
     EXPECT_EQ(h.count(0), 1u);
     EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, EdgeSamplesLandInEdgeBins)
+{
+    // A sample exactly at hi must land in the last bin, not be dropped
+    // or clamped into a phantom bin past the end; exactly at lo must
+    // land in bin 0. Interior bin boundaries belong to the upper bin.
+    Histogram h(0.0, 100.0, 10);
+    h.add(0.0);   // == lo
+    h.add(100.0); // == hi
+    h.add(10.0);  // interior boundary -> bin 1
+    h.add(90.0);  // last bin's lower edge -> bin 9
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, HiLandsInLastBinForAwkwardWidths)
+{
+    // (hi - lo) / bins is not exactly representable here; the explicit
+    // sample >= hi branch must still place hi in the last bin.
+    Histogram h(0.0, 1.0, 3);
+    h.add(1.0);
+    h.add(std::nextafter(1.0, 0.0)); // just below hi
+    EXPECT_EQ(h.count(2), 2u);
+    Histogram w(0.1, 0.7, 7);
+    w.add(0.7);
+    w.add(0.1);
+    EXPECT_EQ(w.count(6), 1u);
+    EXPECT_EQ(w.count(0), 1u);
+    EXPECT_EQ(w.total(), 2u);
 }
 
 TEST(Histogram, DensityIntegratesToOne)

@@ -35,6 +35,57 @@ TEST(JsonEscape, HandlesSpecials)
     EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+/** Inverse of jsonEscape for the escapes it emits, to prove the
+ *  escaping is lossless rather than merely parseable. */
+std::string
+jsonUnescape(const std::string &escaped)
+{
+    std::string out;
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] != '\\') {
+            out += escaped[i];
+            continue;
+        }
+        const char next = escaped[++i];
+        switch (next) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'u': {
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(escaped.substr(i + 1, 4), nullptr, 16));
+            out += static_cast<char>(code);
+            i += 4;
+            break;
+          }
+          default: ADD_FAILURE() << "unknown escape \\" << next;
+        }
+    }
+    return out;
+}
+
+TEST(JsonEscape, ControlCharactersRoundTrip)
+{
+    // Every byte below 0x20 must come back bit-identical, whether it
+    // uses a short escape (\n, \t, \r) or \uXXXX.
+    std::string raw = "a\nb\tc\x01d";
+    raw += '\x1f';
+    raw += '\0';
+    raw += '\x0b';
+    EXPECT_EQ(jsonUnescape(jsonEscape(raw)), raw);
+
+    std::string all;
+    for (int c = 0; c < 0x20; ++c)
+        all += static_cast<char>(c);
+    const std::string escaped = jsonEscape(all);
+    // Escaped form itself contains no raw control bytes.
+    for (char c : escaped)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    EXPECT_EQ(jsonUnescape(escaped), all);
+}
+
 TEST(ToJson, SpmvReportFields)
 {
     Rng rng(1);
@@ -57,6 +108,27 @@ TEST(ToJson, SpmvReportFields)
     // No raw control characters or NaNs.
     EXPECT_EQ(json.find("nan"), std::string::npos);
     EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(ToJson, CycleBreakdownEmbeddedAndReconciles)
+{
+    Rng rng(6);
+    const sparse::CsrMatrix a = sparse::erdosRenyi(48, 48, 300, rng);
+    const std::vector<float> x = sparse::randomVector(a.cols(), rng);
+    const SpmvReport r =
+        Engine(Engine::Kind::Chason, smallConfig()).run(a, x, "bd");
+    const std::string json = toJson(r);
+    EXPECT_NE(json.find("\"cycle_breakdown\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"matrix_stream\":" +
+                        std::to_string(r.cycleBreakdown.matrixStream)),
+              std::string::npos);
+    // The embedded total equals the report's top-level cycle count.
+    EXPECT_NE(json.find("\"total\":" + std::to_string(r.cycles)),
+              std::string::npos);
+
+    const std::string breakdown = toJson(r.cycleBreakdown);
+    EXPECT_NE(breakdown.find("\"reduction\":"), std::string::npos);
+    EXPECT_NE(breakdown.find("\"launch\":"), std::string::npos);
 }
 
 TEST(ToJson, ComparisonNestsBothReports)

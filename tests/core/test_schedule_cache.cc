@@ -157,6 +157,68 @@ TEST(ScheduleCache, OversizedEntryIsStillAdmitted)
     EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST(ScheduleCache, ByteAccountingSurvivesOversizedInserts)
+{
+    // Every insert exceeds the 1-byte budget; resident bytes must track
+    // exactly the MRU survivor, never accumulate ghosts of evicted
+    // entries (the residentBytes_ / lru_ consistency contract).
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache(1);
+    const sparse::CsrMatrix a = matrix(20);
+    const sparse::CsrMatrix b = matrix(21);
+
+    const auto sa = cache.get(engine, a);
+    EXPECT_EQ(cache.stats().bytes, sa->memoryBytes());
+    EXPECT_TRUE(cache.debugCheckConsistency());
+
+    const auto sb = cache.get(engine, b); // evicts a, admits b
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().bytes, sb->memoryBytes());
+    EXPECT_TRUE(cache.debugCheckConsistency());
+}
+
+TEST(ScheduleCache, ReinsertAfterEvictionAccountsCurrentSize)
+{
+    // a is inserted, evicted, then rescheduled: the second insert must
+    // account the fresh instance's size, not double-count or reuse the
+    // first accounting.
+    Engine engine(Engine::Kind::Serpens, smallConfig());
+    const sparse::CsrMatrix a = matrix(22);
+    const sparse::CsrMatrix b = matrix(23);
+
+    ScheduleCache probe;
+    const std::size_t a_bytes = probe.get(engine, a)->memoryBytes();
+
+    ScheduleCache cache(a_bytes);
+    cache.get(engine, a);
+    cache.get(engine, b); // evicts a
+    EXPECT_TRUE(cache.debugCheckConsistency());
+    const auto again = cache.get(engine, a); // evicts b, re-admits a
+    EXPECT_EQ(cache.stats().bytes, again->memoryBytes());
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_TRUE(cache.debugCheckConsistency());
+}
+
+TEST(ScheduleCache, ConsistentAfterClearAndConcurrentRefill)
+{
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    ScheduleCache cache;
+    cache.get(engine, matrix(24));
+    cache.clear();
+    EXPECT_TRUE(cache.debugCheckConsistency());
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            cache.get(engine, matrix(30 + t % 2));
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_TRUE(cache.debugCheckConsistency());
+}
+
 TEST(ScheduleCache, ClearKeepsCounters)
 {
     Engine engine(Engine::Kind::Chason, smallConfig());

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 namespace chason {
@@ -65,6 +66,91 @@ TEST(MatrixMarket, ReadPatternUsesOnes)
     const CooMatrix coo = readMatrixMarket(in);
     ASSERT_EQ(coo.nnz(), 2u);
     EXPECT_EQ(coo.entries()[0].value, 1.0f);
+}
+
+TEST(MatrixMarket, AcceptsCrlfLineEndings)
+{
+    // A Windows-written file: every line ends \r\n, including a blank
+    // line and a comment between header and size line.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "% written on Windows\r\n"
+        "\r\n"
+        "3 4 2\r\n"
+        "1 2 2.5\r\n"
+        "3 4 -1\r\n");
+    const CooMatrix coo = readMatrixMarket(in);
+    EXPECT_EQ(coo.rows(), 3u);
+    EXPECT_EQ(coo.cols(), 4u);
+    ASSERT_EQ(coo.nnz(), 2u);
+    EXPECT_EQ(coo.entries()[0], (Triplet{0, 1, 2.5f}));
+    EXPECT_EQ(coo.entries()[1], (Triplet{2, 3, -1.0f}));
+}
+
+TEST(MatrixMarket, AcceptsBannerAndCommentWhitespaceVariants)
+{
+    // Tab-separated banner tokens, indented comments, and blank lines
+    // before the size line all occur in collection dumps.
+    std::istringstream in(
+        "%%MatrixMarket\tmatrix   coordinate\treal general\n"
+        "   % indented comment\n"
+        "\t\n"
+        "  \n"
+        "2 2 1\n"
+        "2 1 4.0\n");
+    const CooMatrix coo = readMatrixMarket(in);
+    ASSERT_EQ(coo.nnz(), 1u);
+    EXPECT_EQ(coo.entries()[0], (Triplet{1, 0, 4.0f}));
+}
+
+TEST(MatrixMarket, CrlfFileFixtureRoundTrip)
+{
+    // Byte-exact CRLF fixture written in binary mode, read through the
+    // public file entry point.
+    const std::string path =
+        ::testing::TempDir() + "/chason_mm_crlf.mtx";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "%%MatrixMarket matrix coordinate real symmetric\r\n"
+               "% fixture\r\n"
+               "3 3 2\r\n"
+               "2 1 7\r\n"
+               "3 3 1\r\n";
+    }
+    const CooMatrix coo = readMatrixMarketFile(path);
+    EXPECT_EQ(coo.nnz(), 3u); // mirrored off-diagonal + diagonal
+}
+
+TEST(MatrixMarketDeath, CrlfDoesNotWeakenNanRejection)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "2 2 1\r\n"
+        "1 1 nan\r\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "non-finite");
+}
+
+TEST(MatrixMarketDeath, CrlfDoesNotWeakenOverflowRejection)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "4294967296 2 1\r\n"
+        "1 1 1.0\r\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "overflow");
+}
+
+TEST(MatrixMarketDeath, BlankLinesOnlyStillTruncated)
+{
+    // Tolerating blank lines must not mask a genuinely missing size
+    // line.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "\r\n"
+        "   \r\n");
+    EXPECT_EXIT(readMatrixMarket(in), ::testing::ExitedWithCode(1),
+                "truncated before size line");
 }
 
 TEST(MatrixMarketDeath, RejectsBadBanner)

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the tracing layer: sink recording, counters, scoped
+ * thread-local activation, and the Chrome trace_event exporter.
+ */
+
+#include "trace/trace.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "trace/chrome_export.h"
+
+namespace chason {
+namespace trace {
+namespace {
+
+SpanEvent
+deviceSpan(const char *name, Category cat, std::uint32_t track,
+           double begin, double dur)
+{
+    SpanEvent s;
+    s.name = name;
+    s.cat = cat;
+    s.track = track;
+    s.device = true;
+    s.begin = begin;
+    s.dur = dur;
+    return s;
+}
+
+TEST(TraceSink, StartsEmpty)
+{
+    TraceSink sink;
+    EXPECT_TRUE(sink.empty());
+    EXPECT_TRUE(sink.spans().empty());
+    EXPECT_TRUE(sink.counters().empty());
+}
+
+TEST(TraceSink, RecordsSpansAndInstants)
+{
+    TraceSink sink;
+    sink.recordSpan(deviceSpan("busy", Category::MatrixStream, 3, 0, 10));
+    sink.recordInstant("cache_hit", 0, 1.5);
+    EXPECT_FALSE(sink.empty());
+    ASSERT_EQ(sink.spans().size(), 1u);
+    EXPECT_EQ(sink.spans()[0].name, "busy");
+    EXPECT_EQ(sink.spans()[0].track, 3u);
+    ASSERT_EQ(sink.instants().size(), 1u);
+    EXPECT_EQ(sink.instants()[0].name, "cache_hit");
+}
+
+TEST(TraceSink, CountersAccumulate)
+{
+    TraceSink sink;
+    sink.addCounter("schedule_cache.hits");
+    sink.addCounter("schedule_cache.hits", 4);
+    sink.addCounter("schedule_cache.misses");
+    const auto counters = sink.counters();
+    EXPECT_EQ(counters.at("schedule_cache.hits"), 5u);
+    EXPECT_EQ(counters.at("schedule_cache.misses"), 1u);
+}
+
+TEST(TraceSink, SampledCountersKeepTimestamps)
+{
+    TraceSink sink;
+    sink.sampleCounter("thread_pool.queue_depth", 3.0);
+    sink.sampleCounter("thread_pool.queue_depth", 7.0);
+    const auto samples = sink.samples();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].value, 3.0);
+    EXPECT_EQ(samples[1].value, 7.0);
+    EXPECT_LE(samples[0].tsUs, samples[1].tsUs);
+}
+
+TEST(TraceSink, CategoryCyclesSumsDeviceSpansOnly)
+{
+    TraceSink sink;
+    sink.recordSpan(deviceSpan("a", Category::MatrixStream, 0, 0, 10));
+    sink.recordSpan(deviceSpan("b", Category::MatrixStream, 1, 0, 32));
+    sink.recordSpan(deviceSpan("c", Category::Reduction, 0xffff, 10, 5));
+    SpanEvent host;
+    host.name = "host-side";
+    host.cat = Category::Host;
+    host.dur = 1e6; // must not leak into device totals
+    sink.recordSpan(host);
+
+    const auto totals = sink.categoryCycles();
+    EXPECT_EQ(totals.at("matrix_stream"), 42u);
+    EXPECT_EQ(totals.at("reduction"), 5u);
+    EXPECT_EQ(totals.at("writeback"), 0u);
+    EXPECT_EQ(totals.count("host"), 0u);
+
+    const auto per_peg = sink.pegStreamCycles();
+    EXPECT_EQ(per_peg.at(0), 10u);
+    EXPECT_EQ(per_peg.at(1), 32u);
+    EXPECT_EQ(per_peg.count(0xffff), 0u); // reduction is not streaming
+}
+
+#if CHASON_TRACE_ENABLED
+
+TEST(ScopedSinkTest, ActivationIsScopedAndNested)
+{
+    EXPECT_EQ(activeSink(), nullptr);
+    TraceSink outer, inner;
+    {
+        ScopedSink a(outer);
+        EXPECT_EQ(activeSink(), &outer);
+        {
+            ScopedSink b(inner);
+            EXPECT_EQ(activeSink(), &inner);
+        }
+        EXPECT_EQ(activeSink(), &outer);
+    }
+    EXPECT_EQ(activeSink(), nullptr);
+}
+
+TEST(ScopedSinkTest, ActivationIsThreadLocal)
+{
+    TraceSink sink;
+    ScopedSink scope(sink);
+    TraceSink *seen = &sink;
+    std::thread([&seen] { seen = activeSink(); }).join();
+    EXPECT_EQ(seen, nullptr); // the other thread never activated one
+    EXPECT_EQ(activeSink(), &sink);
+}
+
+TEST(HostSpanTest, RecordsOnActiveSink)
+{
+    TraceSink sink;
+    {
+        ScopedSink scope(sink);
+        HostSpan span("work");
+    }
+    ASSERT_EQ(sink.spans().size(), 1u);
+    EXPECT_EQ(sink.spans()[0].name, "work");
+    EXPECT_EQ(sink.spans()[0].cat, Category::Host);
+    EXPECT_FALSE(sink.spans()[0].device);
+}
+
+TEST(HostSpanTest, InertWithoutActiveSink)
+{
+    TraceSink sink;
+    { HostSpan span("dropped"); }
+    EXPECT_TRUE(sink.empty());
+}
+
+#endif // CHASON_TRACE_ENABLED
+
+TEST(ChromeExport, ProducesBalancedNonEmptyJson)
+{
+    TraceSink sink;
+    sink.recordSpan(deviceSpan("stream_busy", Category::MatrixStream,
+                               2, 0, 100));
+    sink.recordInstant("cache_miss", 0, 0.5);
+    sink.addCounter("schedule_cache.misses");
+    sink.sampleCounter("thread_pool.queue_depth", 2.0);
+
+    const std::string json = chromeTraceJson(sink);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("stream_busy"), std::string::npos);
+    EXPECT_NE(json.find("cache_miss"), std::string::npos);
+    // Metadata names the device process and the PEG thread.
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+
+    int brace = 0, bracket = 0;
+    for (char c : json) {
+        brace += c == '{';
+        brace -= c == '}';
+        bracket += c == '[';
+        bracket -= c == ']';
+        ASSERT_GE(brace, 0);
+        ASSERT_GE(bracket, 0);
+    }
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(bracket, 0);
+}
+
+TEST(ChromeExport, EscapesSpanNames)
+{
+    TraceSink sink;
+    sink.recordSpan(deviceSpan("quote\"back\\slash", Category::XLoad,
+                               0, 0, 1));
+    const std::string json = chromeTraceJson(sink);
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_EQ(json.find("quote\"back"), std::string::npos);
+}
+
+TEST(ChromeExport, CountersJsonShape)
+{
+    TraceSink sink;
+    sink.addCounter("schedule_cache.hits", 3);
+    sink.recordSpan(deviceSpan("s", Category::MatrixStream, 0, 0, 7));
+    sink.recordSpan(deviceSpan("s", Category::MatrixStream, 1, 0, 7));
+    const std::string json = countersJson(sink);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"schedule_cache.hits\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"category_cycles\""), std::string::npos);
+    EXPECT_NE(json.find("\"matrix_stream\":14"), std::string::npos);
+    EXPECT_NE(json.find("\"peg_matrix_stream_cycles\":[7,7]"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace trace
+} // namespace chason

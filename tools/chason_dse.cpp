@@ -12,11 +12,14 @@
  * and the printed table are independent of the worker count.
  *
  * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D] [--jobs N]
- *        [--verify]
+ *        [--verify] [--trace FILE]
  *
  * --verify statically verifies every schedule the exploration produces
  * (verify/verifier.h) before its latency is estimated; an illegal
  * schedule aborts the run instead of skewing the frontier.
+ *
+ * --trace records the exploration (per-point scheduler phase timings,
+ * cache traffic, queue depth) as Chrome trace_event JSON.
  */
 
 #include <algorithm>
@@ -27,6 +30,8 @@
 
 #include "common/table.h"
 #include "core/chason.h"
+#include "trace/chrome_export.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -86,6 +91,7 @@ main(int argc, char **argv)
     unsigned raw = 10;
     unsigned jobs = 0; // 0 = one worker per hardware thread
     bool verify = false;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--dataset" && i + 1 < argc) {
@@ -98,10 +104,12 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: chason_dse [--dataset TAG | --mtx FILE] "
-                         "[--raw D] [--jobs N] [--verify]\n");
+                         "[--raw D] [--jobs N] [--verify] [--trace FILE]\n");
             return 2;
         }
     }
@@ -124,9 +132,12 @@ main(int argc, char **argv)
                     if (scug <= pes)
                         grid.push_back({channels, pes, depth, scug});
 
+    trace::TraceSink sink;
     core::BatchOptions options;
     options.workers = jobs;
     options.verifySchedules = verify;
+    if (!trace_path.empty())
+        options.traceSink = &sink;
     core::BatchEngine batch(options);
 
     std::vector<DsePoint> points(grid.size());
@@ -159,5 +170,10 @@ main(int argc, char **argv)
     t.print();
     std::printf("\n'*' marks the latency-vs-URAM Pareto frontier among "
                 "configurations that fit the U55c\n");
+    if (!trace_path.empty()) {
+        trace::writeChromeTraceFile(sink, trace_path);
+        std::printf("trace written to %s (%zu spans)\n",
+                    trace_path.c_str(), sink.spans().size());
+    }
     return 0;
 }

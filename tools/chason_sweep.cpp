@@ -17,11 +17,15 @@
  *
  * Usage:
  *   chason_sweep [--count N] [--table2] [--dozen] [--out FILE]
- *                [--jobs N] [--verify]
+ *                [--jobs N] [--verify] [--trace FILE]
  *
  * --verify runs the static schedule verifier (verify/verifier.h) on
  * every schedule the sweep produces; an illegal schedule aborts the
  * sweep rather than contaminating the emitted numbers.
+ *
+ * --trace records the whole sweep (host scheduler phases, cache
+ * hits/misses, queue depth, every simulation's device spans) into one
+ * Chrome trace_event JSON file.
  *
  * Default: the first 100 sweep-corpus matrices to stdout, one worker
  * per hardware thread.
@@ -35,6 +39,8 @@
 
 #include "core/chason.h"
 #include "runtime/host.h"
+#include "trace/chrome_export.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -93,6 +99,7 @@ main(int argc, char **argv)
     bool table2 = false;
     bool dozen = false;
     std::string out_path;
+    std::string trace_path;
     unsigned jobs = 0; // 0 = one worker per hardware thread
     bool verify = false;
 
@@ -111,10 +118,13 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: chason_sweep [--count N] [--table2] "
-                         "[--dozen] [--out FILE] [--jobs N] [--verify]\n");
+                         "[--dozen] [--out FILE] [--jobs N] [--verify] "
+                         "[--trace FILE]\n");
             return 2;
         }
     }
@@ -138,9 +148,12 @@ main(int argc, char **argv)
             entries.push_back(e);
     }
 
+    trace::TraceSink sink;
     core::BatchOptions options;
     options.workers = jobs;
     options.verifySchedules = verify;
+    if (!trace_path.empty())
+        options.traceSink = &sink;
     core::BatchEngine batch(options);
 
     std::vector<std::string> lines(entries.size());
@@ -158,6 +171,12 @@ main(int argc, char **argv)
 
     if (out != stdout)
         std::fclose(out);
+    if (!trace_path.empty()) {
+        trace::writeChromeTraceFile(sink, trace_path);
+        std::fprintf(stderr, "chason_sweep: trace written to %s "
+                     "(%zu spans)\n",
+                     trace_path.c_str(), sink.spans().size());
+    }
     std::fprintf(stderr,
                  "chason_sweep: %zu matrices emitted (%u workers, "
                  "cache hit rate %.0f%%)\n",
