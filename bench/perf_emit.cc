@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Perf emitter implementation.
+ */
+
+#include "perf_emit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace chason {
+namespace bench {
+
+const std::vector<PerfTier> &
+perfTiers()
+{
+    // Iteration counts are sized so the full ladder stays in the low
+    // tens of seconds on one core; the large tier matches the R-MAT
+    // workload PERFORMANCE.md quotes its before/after numbers on.
+    static const std::vector<PerfTier> tiers = {
+        {"small", 14, 1u << 17, 1, 9},
+        {"medium", 17, 1u << 20, 1, 5},
+        {"large", 19, 1u << 22, 1, 3},
+    };
+    return tiers;
+}
+
+std::vector<PerfTier>
+selectedPerfTiers()
+{
+    const char *env = std::getenv("CHASON_PERF_TIERS");
+    if (env == nullptr || *env == '\0')
+        return perfTiers();
+    std::vector<PerfTier> out;
+    const std::string list = env;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string name = list.substr(pos, comma - pos);
+        if (!name.empty()) {
+            bool found = false;
+            for (const PerfTier &t : perfTiers()) {
+                if (name == t.name) {
+                    out.push_back(t);
+                    found = true;
+                    break;
+                }
+            }
+            chason_assert(found, "CHASON_PERF_TIERS names unknown tier "
+                          "'%s'", name.c_str());
+        }
+        pos = comma + 1;
+    }
+    chason_assert(!out.empty(), "CHASON_PERF_TIERS selected no tiers");
+    return out;
+}
+
+double
+nowMs()
+{
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double, std::milli>(t).count();
+}
+
+double
+medianOf(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+std::string
+gitRevision()
+{
+    std::string rev = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {0};
+        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+            buf[std::strcspn(buf, "\r\n")] = '\0';
+            if (buf[0] != '\0')
+                rev = buf;
+        }
+        pclose(p);
+    }
+#endif
+    return rev;
+}
+
+void
+writePerfJson(const std::string &path, const std::string &bench,
+              const std::string &unit,
+              const std::vector<PerfSample> &samples)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    chason_assert(f != nullptr, "cannot write %s", path.c_str());
+    std::fprintf(f, "{\"bench\":\"%s\",\"unit\":\"%s\",\"git_rev\":\"%s\","
+                 "\n \"tiers\":[\n", bench.c_str(), unit.c_str(),
+                 gitRevision().c_str());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const PerfSample &s = samples[i];
+        std::fprintf(
+            f,
+            "  {\"tier\":\"%s\",\"rows\":%u,\"cols\":%u,\"nnz\":%zu,"
+            "\"warmups\":%u,\"iterations\":%u,\"median_ms\":%.6g,"
+            "\"throughput_per_s\":%.6g,\"cycles\":%llu,"
+            "\"checksum\":%.17g}%s\n",
+            s.tier.c_str(), s.rows, s.cols, s.nnz, s.warmups,
+            s.iterations, s.medianMs, s.throughputPerS,
+            static_cast<unsigned long long>(s.cycles), s.checksum,
+            i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, " ]}\n");
+    std::fclose(f);
+}
+
+} // namespace bench
+} // namespace chason

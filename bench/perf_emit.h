@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine-readable perf emitter for the BENCH_*.json trajectory.
+ *
+ * bench_perf_sched and bench_perf_sim measure the two offline hot
+ * paths (CrHCS scheduling, streaming simulation) over a fixed ladder
+ * of R-MAT tiers and write one JSON report each — BENCH_sched.json and
+ * BENCH_sim.json. The reports are what tools/chason_perf_gate compares
+ * against the committed pre-rewrite baselines in bench/baselines/, and
+ * what docs/PERFORMANCE.md teaches how to read.
+ *
+ * Methodology (EXPERIMENTS.md "Perf trajectory"): every tier is
+ * generated from its pinned tierRng stream, warmed up to steady state
+ * (first-touch page faults on the ~100s-of-MB beat storage dominate a
+ * cold run), then timed for a fixed iteration count; the report stores
+ * the median. A result checksum rides along so an A/B pair can prove
+ * it measured identical work.
+ */
+
+#ifndef CHASON_BENCH_PERF_EMIT_H_
+#define CHASON_BENCH_PERF_EMIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chason {
+namespace bench {
+
+/** One R-MAT tier of the perf ladder. */
+struct PerfTier
+{
+    const char *name;       ///< tier id and tierRng stream name
+    std::uint32_t scale;    ///< R-MAT scale (2^scale rows/cols)
+    std::size_t nnzTarget;  ///< requested non-zeros
+    unsigned warmups;       ///< untimed runs before measuring
+    unsigned iterations;    ///< timed runs; the median is reported
+};
+
+/** The small/medium/large ladder both perf benches measure. */
+const std::vector<PerfTier> &perfTiers();
+
+/**
+ * Tiers selected by the CHASON_PERF_TIERS env var (comma-separated
+ * names, e.g. "small,large"); all of them when unset. Unknown names
+ * are fatal — a typo must not silently shrink the ladder.
+ */
+std::vector<PerfTier> selectedPerfTiers();
+
+/** One measured tier as it appears in the report. */
+struct PerfSample
+{
+    std::string tier;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::size_t nnz = 0;
+    unsigned warmups = 0;
+    unsigned iterations = 0;
+    double medianMs = 0.0;
+    /** nnz/s for scheduling, simulated cycles/s for simulation. */
+    double throughputPerS = 0.0;
+    /** Simulated cycle total (0 for the scheduling bench). */
+    std::uint64_t cycles = 0;
+    /** Result fingerprint proving two runs measured identical work. */
+    double checksum = 0.0;
+};
+
+/** Monotonic timestamp in milliseconds. */
+double nowMs();
+
+/** Median of @p samples (takes a copy; empty input returns 0). */
+double medianOf(std::vector<double> samples);
+
+/** `git rev-parse --short HEAD`, or "unknown" outside a checkout. */
+std::string gitRevision();
+
+/**
+ * Write the report. Layout (one tier object per line, which is what
+ * chason_perf_gate's intentionally simple reader relies on):
+ *
+ *   {"bench":"sched","unit":"nnz_per_s","git_rev":"abc1234",
+ *    "tiers":[
+ *     {"tier":"small",...,"throughput_per_s":8.1e6,...},
+ *     ...]}
+ */
+void writePerfJson(const std::string &path, const std::string &bench,
+                   const std::string &unit,
+                   const std::vector<PerfSample> &samples);
+
+} // namespace bench
+} // namespace chason
+
+#endif // CHASON_BENCH_PERF_EMIT_H_

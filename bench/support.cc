@@ -26,6 +26,19 @@ corpusSize()
     return 800;
 }
 
+Rng
+tierRng(const std::string &tier)
+{
+    // FNV-1a over the tier name selects the stream; the base seed is
+    // fixed so tier streams are stable across binaries and releases.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : tier) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return Rng::forStream(0xC4A50DA7A71E25ull, h);
+}
+
 unsigned
 jobCount()
 {

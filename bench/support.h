@@ -20,10 +20,12 @@
 #define CHASON_BENCH_SUPPORT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/batch_engine.h"
 #include "core/engine.h"
 #include "sched/analyzer.h"
@@ -34,6 +36,17 @@ namespace bench {
 
 /** Corpus size: CHASON_CORPUS env var, default 800. */
 std::size_t corpusSize();
+
+/**
+ * Deterministic RNG for a named dataset tier, pinned to one stream per
+ * tier name. Every binary that generates a tier's workload must derive
+ * its randomness from here, so "large" names the exact same matrix in
+ * bench_perf_sched, bench_perf_sim, and any A/B probe — regardless of
+ * which binary generates it, in what order, or what else it generated
+ * first. (Hand-picked per-binary seeds made nominally identical tiers
+ * differ across binaries, which silently invalidated A/B comparisons.)
+ */
+Rng tierRng(const std::string &tier);
 
 /** Worker count: CHASON_JOBS env var, default hardware threads. */
 unsigned jobCount();

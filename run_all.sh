@@ -86,9 +86,37 @@ else
         | tee -a test_output.txt
 fi
 
+# Performance-trajectory gate: re-emit BENCH_sched.json/BENCH_sim.json
+# on the R-MAT ladder and hold them against the committed pre-rewrite
+# baselines (bench/baselines/*.prepr.json). Bands sit below the medians
+# measured for docs/PERFORMANCE.md to absorb machine noise; the
+# dedicated large-tier checks gate the headline speedups themselves.
+# chason_perf_gate soft-fails automatically in sanitizer builds (the
+# regular flow runs it from the uninstrumented tree, so it is hard
+# here).
+build/bench/bench_perf_sched --out BENCH_sched.json \
+    2>&1 | tee -a test_output.txt
+build/bench/bench_perf_sim --out BENCH_sim.json \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_sched.json \
+    --baseline bench/baselines/BENCH_sched.prepr.json --min-ratio 1.1 \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_sched.json \
+    --baseline bench/baselines/BENCH_sched.prepr.json \
+    --tier large --min-ratio 2.2 2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_sim.json \
+    --baseline bench/baselines/BENCH_sim.prepr.json --min-ratio 1.6 \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_sim.json \
+    --baseline bench/baselines/BENCH_sim.prepr.json \
+    --tier large --min-ratio 3.0 2>&1 | tee -a test_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
+    case "$(basename "$b")" in
+        bench_perf_*) continue ;; # ran above, under the perf gate
+    esac
     echo "########## $(basename "$b") ##########" | tee -a bench_output.txt
     "$b" 2>&1 | tee -a bench_output.txt
     echo | tee -a bench_output.txt

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "arch/stream_soa.h"
 #include "common/logging.h"
 #include "trace/trace.h"
 
@@ -52,6 +54,100 @@ deviceSpan(trace::TraceSink *sink, const char *name, trace::Category cat,
     sink->recordSpan(std::move(span));
 }
 
+/**
+ * Reuse pool for PEG sets. Every simulateStreaming call needs a fully
+ * reset PEG per channel; constructing them fresh allocates and
+ * page-faults tens of MB of bank storage per run, which dominated
+ * repeated-run simulation cost. Released sets keep their bank storage;
+ * on reacquisition Peg::reset clears only the banks the previous run
+ * actually wrote (AccumulatorBank tracks a dirty bit), so a pooled set
+ * is bit-identical to a freshly constructed one.
+ */
+class PegSetPool
+{
+  public:
+    static std::vector<Peg>
+    acquire(const sched::SchedConfig &sc, unsigned migration_depth)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex());
+            auto &sets = freeSets();
+            for (std::size_t i = 0; i < sets.size(); ++i) {
+                if (sets[i].channels == sc.channels &&
+                    sets[i].pes == sc.pesPerGroup() &&
+                    sets[i].depth == migration_depth) {
+                    std::vector<Peg> pegs = std::move(sets[i].pegs);
+                    sets.erase(sets.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    return pegs;
+                }
+            }
+        }
+        std::vector<Peg> pegs;
+        pegs.reserve(sc.channels);
+        for (unsigned ch = 0; ch < sc.channels; ++ch)
+            pegs.emplace_back(sc, migration_depth);
+        return pegs;
+    }
+
+    static void
+    release(const sched::SchedConfig &sc, unsigned migration_depth,
+            std::vector<Peg> &&pegs)
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        auto &sets = freeSets();
+        if (sets.size() >= kMaxPooled)
+            return; // drop: bounded cache, not a leak
+        sets.push_back(
+            {sc.channels, sc.pesPerGroup(), migration_depth,
+             std::move(pegs)});
+    }
+
+  private:
+    struct Entry
+    {
+        unsigned channels;
+        unsigned pes;
+        unsigned depth;
+        std::vector<Peg> pegs;
+    };
+
+    static constexpr std::size_t kMaxPooled = 4;
+
+    static std::mutex &
+    mutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+
+    static std::vector<Entry> &
+    freeSets()
+    {
+        static std::vector<Entry> sets;
+        return sets;
+    }
+};
+
+/** RAII lease so PEG sets return to the pool on every exit path. */
+struct PegSetLease
+{
+    PegSetLease(const sched::SchedConfig &sc, unsigned migration_depth)
+        : sc_(sc), depth_(migration_depth),
+          pegs(PegSetPool::acquire(sc, migration_depth))
+    {
+    }
+
+    ~PegSetLease()
+    {
+        PegSetPool::release(sc_, depth_, std::move(pegs));
+    }
+
+    const sched::SchedConfig &sc_;
+    unsigned depth_;
+    std::vector<Peg> pegs;
+};
+
 } // namespace
 
 std::uint32_t
@@ -94,8 +190,13 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
                                const std::vector<float> &x,
                                const SpmvParams &params,
                                unsigned migration_depth,
-                               bool with_reduction) const
+                               bool with_reduction,
+                               const StreamPlan *plan) const
 {
+    chason_assert(plan == nullptr ||
+                      plan->matches(schedule, migration_depth),
+                  "stream plan was built for a different schedule or "
+                  "migration depth");
     const sched::SchedConfig &sc = schedule.config;
     const bool reads_y = params.beta != 0.0f;
     chason_assert(!reads_y ||
@@ -128,12 +229,11 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
     result.memStallFactor = mem_factor;
     result.y.assign(schedule.rows, 0.0f);
 
-    std::vector<Peg> pegs;
-    pegs.reserve(sc.channels);
-    for (unsigned ch = 0; ch < sc.channels; ++ch)
-        pegs.emplace_back(sc, migration_depth);
+    PegSetLease lease(sc, migration_depth);
+    std::vector<Peg> &pegs = lease.pegs;
 
     XWindowBuffer xbuf;
+    StreamScratch stream_scratch;
     std::int64_t beat_base = 0;
     bool first_phase = true;
 
@@ -148,7 +248,12 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
     };
 
     // Merge partial sums of a finished pass into y and account the
-    // Reduction Unit sweep.
+    // Reduction Unit sweep. The two scratch vectors are hoisted out of
+    // the per-(channel, PE) loop and the bank reads go through the raw
+    // sum storage — same additions in the same order, no per-lane
+    // allocation.
+    std::vector<float> lane_sum;
+    std::vector<float> reduced;
     auto finish_pass = [&](std::uint32_t pass) {
         const std::uint32_t depth = pass_depth(pass);
         const std::uint32_t local_base = pass * sc.rowsPerLanePerPass;
@@ -156,16 +261,15 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
         // Consolidated shared sums: [source channel][source PE] -> rows.
         for (unsigned s = 0; s < sc.channels; ++s) {
             for (unsigned k = 0; k < sc.pesPerGroup(); ++k) {
-                std::vector<float> lane_sum(depth, 0.0f);
-                for (std::uint32_t a = 0; a < depth; ++a)
-                    lane_sum[a] = pegs[s].pe(k).pvt().value(a);
+                const float *pvt = pegs[s].pe(k).pvt().data();
+                lane_sum.assign(pvt, pvt + depth);
                 for (unsigned off = 1; off <= migration_depth; ++off) {
                     const unsigned dest =
                         (s + sc.channels - off) % sc.channels;
                     if (dest == s)
                         break;
-                    const std::vector<float> reduced =
-                        pegs[dest].reduceShared(off, k);
+                    reduced.resize(depth);
+                    pegs[dest].reduceSharedInto(off, k, reduced.data());
                     for (std::uint32_t a = 0; a < depth; ++a)
                         lane_sum[a] += reduced[a];
                 }
@@ -225,7 +329,9 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
     };
 
     std::int64_t current_pass = -1;
-    for (const sched::WindowSchedule &phase : schedule.phases) {
+    for (std::size_t phase_idx = 0; phase_idx < schedule.phases.size();
+         ++phase_idx) {
+        const sched::WindowSchedule &phase = schedule.phases[phase_idx];
         if (static_cast<std::int64_t>(phase.pass) != current_pass) {
             if (current_pass >= 0)
                 finish_pass(static_cast<std::uint32_t>(current_pass));
@@ -265,16 +371,20 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
         sim_now += exposed_x;
 
         // Matrix streaming: all channels in lockstep for alignedBeats.
+        // The SoA path performs the same per-slot multiplies and
+        // checked accumulations as walking Pe::process over the AoS
+        // beat list, in the same per-bank order (see stream_soa.h).
+        // With a StreamPlan the pre-packed lanes are replayed and the
+        // beat-list traversal is skipped entirely.
         for (unsigned ch = 0; ch < sc.channels; ++ch) {
             const sched::ChannelWindowSchedule &cws = phase.channels[ch];
-            for (std::size_t t = 0; t < cws.length(); ++t) {
-                for (unsigned p = 0; p < sc.pesPerGroup(); ++p) {
-                    pegs[ch].pe(p).process(cws.beats[t].slots[p], xbuf,
-                                           beat_base +
-                                               static_cast<std::int64_t>(
-                                                   t),
-                                           sc, ch, p);
-                }
+            if (plan) {
+                macPackedChannel(plan->channel(phase_idx, ch), pegs[ch],
+                                 xbuf, beat_base, sc,
+                                 stream_scratch.product);
+            } else {
+                streamChannelSoa(cws, pegs[ch], xbuf, beat_base, sc, ch,
+                                 migration_depth, stream_scratch);
             }
             result.traffic.recordBeats(ch, hbm::Direction::Read,
                                        phase.alignedBeats);

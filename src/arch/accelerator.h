@@ -20,6 +20,8 @@
 namespace chason {
 namespace arch {
 
+class StreamPlan; // arch/stream_soa.h
+
 /** Full architecture configuration. */
 struct ArchConfig
 {
@@ -118,12 +120,17 @@ class Accelerator
      * @param migration_depth shared banks instantiated per PE; 0 makes
      *        any migrated slot a hard error (the Serpens datapath).
      * @param with_reduction  account Reduction Unit sweeps per pass.
+     * @param plan            optional pre-packed SoA lanes for this
+     *        exact (schedule, migration_depth) pair — skips the
+     *        beat-list traversal on every run (see arch/stream_soa.h).
+     *        Results are bit-identical with or without a plan.
      */
     RunResult simulateStreaming(const sched::Schedule &schedule,
                                 const std::vector<float> &x,
                                 const SpmvParams &params,
                                 unsigned migration_depth,
-                                bool with_reduction) const;
+                                bool with_reduction,
+                                const StreamPlan *plan = nullptr) const;
 };
 
 } // namespace arch

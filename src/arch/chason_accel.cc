@@ -32,5 +32,15 @@ ChasonAccelerator::run(const sched::Schedule &schedule,
                              /*with_reduction=*/true);
 }
 
+RunResult
+ChasonAccelerator::runPlanned(const sched::Schedule &schedule,
+                              const StreamPlan &plan,
+                              const std::vector<float> &x,
+                              const SpmvParams &params) const
+{
+    return simulateStreaming(schedule, x, params, migrationDepth(),
+                             /*with_reduction=*/true, &plan);
+}
+
 } // namespace arch
 } // namespace chason

@@ -5,41 +5,17 @@
 
 #include "arch/peg.h"
 
-#include <limits>
-
-#include "common/logging.h"
-
 namespace chason {
 namespace arch {
-
-namespace {
-
-constexpr std::int64_t kNeverWritten =
-    std::numeric_limits<std::int64_t>::min() / 2;
-
-} // namespace
 
 void
 AccumulatorBank::reset(std::size_t depth)
 {
+    if (sums_.size() == depth && !dirty_)
+        return; // already sized and still in post-reset state
     sums_.assign(depth, 0.0f);
     lastWrite_.assign(depth, kNeverWritten);
-}
-
-void
-AccumulatorBank::accumulate(std::uint32_t addr, float product,
-                            std::int64_t beat, unsigned raw_distance)
-{
-    chason_assert(addr < sums_.size(), "bank address %u beyond depth %zu",
-                  addr, sums_.size());
-    chason_assert(lastWrite_[addr] + static_cast<std::int64_t>(
-                      raw_distance) <= beat,
-                  "RAW hazard at address %u: writes at beats %lld and "
-                  "%lld", addr,
-                  static_cast<long long>(lastWrite_[addr]),
-                  static_cast<long long>(beat));
-    sums_[addr] += product;
-    lastWrite_[addr] = beat;
+    dirty_ = false;
 }
 
 float
@@ -161,32 +137,44 @@ Peg::reduceShared(unsigned distance, unsigned src_pe) const
 {
     chason_assert(!pes_.empty(), "PEG without PEs");
     const std::size_t depth = pes_.front().shared(distance, src_pe).depth();
-    std::vector<float> reduced(depth, 0.0f);
-    // Adder-tree order: pairwise over the eight ScUGs. Summation order
-    // matches a balanced tree, like the hardware.
-    std::vector<std::vector<float>> stage;
-    stage.reserve(pes_.size());
-    for (const Pe &pe : pes_) {
-        const AccumulatorBank &bank = pe.shared(distance, src_pe);
-        std::vector<float> leaf(depth);
-        for (std::uint32_t a = 0; a < depth; ++a)
-            leaf[a] = bank.value(a);
-        stage.push_back(std::move(leaf));
-    }
-    while (stage.size() > 1) {
-        std::vector<std::vector<float>> next;
-        for (std::size_t i = 0; i + 1 < stage.size(); i += 2) {
-            std::vector<float> merged(depth);
-            for (std::uint32_t a = 0; a < depth; ++a)
-                merged[a] = stage[i][a] + stage[i + 1][a];
-            next.push_back(std::move(merged));
-        }
-        if (stage.size() % 2 == 1)
-            next.push_back(std::move(stage.back()));
-        stage = std::move(next);
-    }
-    reduced = std::move(stage.front());
+    std::vector<float> reduced(depth);
+    reduceSharedInto(distance, src_pe, reduced.data());
     return reduced;
+}
+
+void
+Peg::reduceSharedInto(unsigned distance, unsigned src_pe,
+                      float *out) const
+{
+    chason_assert(!pes_.empty(), "PEG without PEs");
+    const std::size_t depth = pes_.front().shared(distance, src_pe).depth();
+    const float *leaf[kMaxLeaves];
+    const std::size_t n = pes_.size();
+    chason_assert(n <= kMaxLeaves, "PEG with more than %zu PEs",
+                  kMaxLeaves);
+    for (std::size_t i = 0; i < n; ++i)
+        leaf[i] = pes_[i].shared(distance, src_pe).data();
+
+    // Adder-tree order: pairwise over the eight ScUGs. Summation order
+    // matches a balanced tree, like the hardware — evaluated one
+    // address at a time, so nothing is allocated per sweep. An odd
+    // stage carries its last operand up unchanged, exactly as the
+    // staged formulation did.
+    for (std::uint32_t a = 0; a < depth; ++a) {
+        float v[kMaxLeaves];
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = leaf[i][a];
+        std::size_t m = n;
+        while (m > 1) {
+            const std::size_t half = m / 2;
+            for (std::size_t i = 0; i < half; ++i)
+                v[i] = v[2 * i] + v[2 * i + 1];
+            if (m % 2 == 1)
+                v[half] = v[m - 1];
+            m = half + (m % 2);
+        }
+        out[a] = v[0];
+    }
 }
 
 } // namespace arch

@@ -19,8 +19,10 @@
 #define CHASON_ARCH_PEG_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "common/logging.h"
 #include "sched/config.h"
 #include "sched/schedule.h"
 
@@ -31,24 +33,65 @@ namespace arch {
 class AccumulatorBank
 {
   public:
-    /** Clear sums and RAW history; size for @p depth rows. */
+    /**
+     * Clear sums and RAW history; size for @p depth rows. A no-op when
+     * the bank is already @p depth deep and has not been written since
+     * its last reset — most shared banks of a PEG set never receive a
+     * migrated product, and skipping their clears removes the bulk of
+     * the per-run reset traffic when PEG sets are reused across runs.
+     */
     void reset(std::size_t depth);
 
     /**
      * Accumulate @p product into address @p addr at stream beat @p beat.
      * Panics if the previous write to @p addr was closer than
      * @p raw_distance beats — the real pipeline would have read a stale
-     * partial sum.
+     * partial sum. Defined inline: this is the innermost operation of
+     * the streaming simulation, executed once per non-zero.
      */
-    void accumulate(std::uint32_t addr, float product, std::int64_t beat,
-                    unsigned raw_distance);
+    void
+    accumulate(std::uint32_t addr, float product, std::int64_t beat,
+               unsigned raw_distance)
+    {
+        chason_assert(addr < sums_.size(),
+                      "bank address %u beyond depth %zu", addr,
+                      sums_.size());
+        chason_assert(beat >= 0 && beat <= kMaxBeat,
+                      "beat %lld outside the bank's RAW stamp range",
+                      static_cast<long long>(beat));
+        chason_assert(
+            static_cast<std::int64_t>(lastWrite_[addr]) +
+                    static_cast<std::int64_t>(raw_distance) <=
+                beat,
+            "RAW hazard at address %u: writes at beats %lld and %lld",
+            addr, static_cast<long long>(lastWrite_[addr]),
+            static_cast<long long>(beat));
+        sums_[addr] += product;
+        lastWrite_[addr] = static_cast<std::int32_t>(beat);
+        dirty_ = true;
+    }
 
     float value(std::uint32_t addr) const;
     std::size_t depth() const { return sums_.size(); }
 
+    /** Raw partial-sum storage, indexed by bank address. */
+    const float *data() const { return sums_.data(); }
+
+    /** True when the bank was written since its last reset. */
+    bool dirty() const { return dirty_; }
+
   private:
+    // RAW stamps are stored as int32 — half the reset/accumulate
+    // traffic of int64 stamps. Stream beats are bounded by the total
+    // schedule length, far below 2^31; accumulate() asserts the bound.
+    static constexpr std::int64_t kMaxBeat =
+        std::numeric_limits<std::int32_t>::max();
+    static constexpr std::int32_t kNeverWritten =
+        std::numeric_limits<std::int32_t>::min() / 2;
+
     std::vector<float> sums_;
-    std::vector<std::int64_t> lastWrite_;
+    std::vector<std::int32_t> lastWrite_;
+    bool dirty_ = false;
 };
 
 /** BRAM buffer holding the current window of the dense vector x. */
@@ -61,6 +104,9 @@ class XWindowBuffer
 
     /** Read by global column index; panics outside the window. */
     float at(std::uint32_t global_col) const;
+
+    /** Raw window storage, indexed by window-local column. */
+    const float *data() const { return window_.data(); }
 
     std::uint32_t base() const { return base_; }
     std::uint32_t length() const
@@ -104,6 +150,22 @@ class Pe
     /** Shared bank for (distance, source PE); distance >= 1. */
     const AccumulatorBank &shared(unsigned distance, unsigned src_pe) const;
 
+    /**
+     * Mutable bank access for the SoA streaming fast path
+     * (arch/stream_soa.cc), which routes products itself and writes
+     * through AccumulatorBank::accumulate directly. Same checks, same
+     * banks — just without the per-slot routing re-derivation.
+     */
+    AccumulatorBank &pvtBank() { return pvt_; }
+    AccumulatorBank &
+    sharedBank(unsigned distance, unsigned src_pe)
+    {
+        chason_assert(distance >= 1 && distance <= shared_.size(),
+                      "shared distance %u out of range", distance);
+        chason_assert(src_pe < pes_, "source PE %u out of range", src_pe);
+        return shared_[distance - 1][src_pe];
+    }
+
     unsigned migrationDepth() const
     {
         return static_cast<unsigned>(shared_.size());
@@ -137,7 +199,18 @@ class Peg
     std::vector<float> reduceShared(unsigned distance,
                                     unsigned src_pe) const;
 
+    /**
+     * Allocation-free reduceShared: writes the consolidated sums into
+     * @p out (bank depth entries). Summation order is the same balanced
+     * pairwise adder tree, evaluated element-wise, so the results are
+     * bit-identical to reduceShared().
+     */
+    void reduceSharedInto(unsigned distance, unsigned src_pe,
+                          float *out) const;
+
   private:
+    static constexpr std::size_t kMaxLeaves = sched::kMaxPesPerGroup;
+
     std::vector<Pe> pes_;
 };
 

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SoA fast path for the streaming phase of the cycle-level simulation.
+ *
+ * The straightforward simulator walks the AoS beat list and calls
+ * Pe::process per slot, re-deriving the lane map, re-checking the x
+ * window and re-selecting the destination bank for every non-zero. This
+ * module restructures one channel-phase into struct-of-arrays staging:
+ * a single *pack* pass over the beat list appends the valid slots of
+ * each PE to flat value/column/address/bank arrays, then the *MAC* pass
+ * multiplies against the x window as one dense loop over those arrays
+ * (AVX2 gather+mul when the CPU supports it, portable scalar otherwise)
+ * and accumulates the products in beat order through the exact same
+ * AccumulatorBank::accumulate as the slow path — RAW checking included.
+ *
+ * The pack output depends only on the schedule and the geometry — not
+ * on x — so a caller that streams the same schedule repeatedly (the
+ * whole point of offline scheduling: one schedule, many SpMV calls) can
+ * pack every channel-phase once into a StreamPlan and amortize the
+ * beat-list traversal away entirely. simulateStreaming accepts an
+ * optional plan; the per-run work then collapses to the dense multiply
+ * and the checked accumulations.
+ *
+ * Bit-identity: a bank only ever receives products from its owning
+ * (channel, PE) lane, and this path preserves the beat order within
+ * each lane, so every bank sees the same additions in the same order as
+ * the per-slot walk. Products are rounded to fp32 by an explicit
+ * multiply before the add (never fused into an FMA), matching the
+ * two-step multiply/accumulate of Pe::process. The cycle accounting is
+ * untouched — this is purely a host-speed rewrite of the functional
+ * model's inner loop.
+ */
+
+#ifndef CHASON_ARCH_STREAM_SOA_H_
+#define CHASON_ARCH_STREAM_SOA_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/peg.h"
+#include "sched/schedule.h"
+
+namespace chason {
+namespace arch {
+
+/** SoA staging for the valid slots one PE consumes in one phase. */
+struct PackedLane
+{
+    std::vector<float> value;          ///< matrix values
+    std::vector<std::uint32_t> winCol; ///< window-local column
+    std::vector<std::uint32_t> addr;   ///< local URAM address
+    std::vector<std::uint32_t> beat;   ///< beat offset within phase
+    std::vector<std::uint8_t> bank;    ///< 0 = pvt, 1+... = shared
+
+    void
+    clear()
+    {
+        value.clear();
+        winCol.clear();
+        addr.clear();
+        beat.clear();
+        bank.clear();
+    }
+};
+
+/** All PE lanes of one channel-phase. */
+struct PackedChannel
+{
+    std::array<PackedLane, sched::kMaxPesPerGroup> lanes;
+};
+
+/** Reusable scratch for plan-less streaming: lanes + product buffer. */
+struct StreamScratch
+{
+    PackedChannel packed;
+    std::vector<float> product;
+};
+
+/**
+ * Pack one channel's beat list of one phase into per-PE SoA lanes.
+ * Performs every model check Pe::process would have made per slot
+ * (window bounds, routing tags, bank reach). @p win_base / @p win_len
+ * describe the x window the phase will stream against.
+ */
+void packChannel(const sched::ChannelWindowSchedule &cws,
+                 const sched::SchedConfig &config, unsigned channel,
+                 unsigned migration_depth, std::uint32_t win_base,
+                 std::uint32_t win_len, PackedChannel &out);
+
+/**
+ * MAC pass over pre-packed lanes: dense multiply against @p x, then
+ * in-order accumulation through @p peg's checked banks. @p product is
+ * caller-provided scratch, resized per lane.
+ */
+void macPackedChannel(const PackedChannel &packed, Peg &peg,
+                      const XWindowBuffer &x, std::int64_t beat_base,
+                      const sched::SchedConfig &config,
+                      std::vector<float> &product);
+
+/**
+ * Pack + MAC in one call (the plan-less path): stream one channel's
+ * beat list of one phase into @p peg. Performs the same multiplies,
+ * accumulations and model checks as calling Pe::process on every slot,
+ * in the same per-bank order.
+ */
+void streamChannelSoa(const sched::ChannelWindowSchedule &cws, Peg &peg,
+                      const XWindowBuffer &x, std::int64_t beat_base,
+                      const sched::SchedConfig &config, unsigned channel,
+                      unsigned migration_depth, StreamScratch &scratch);
+
+/**
+ * Every channel-phase of one schedule, packed once. Build a plan when
+ * the same schedule is streamed more than once (repeated SpMV, DSE
+ * sweeps, benchmarking); Accelerator::simulateStreaming then skips the
+ * beat-list traversal and replays the packed lanes. The plan is
+ * immutable after construction and safe to share across threads.
+ *
+ * The plan captures schedule *content*; it must be built from the same
+ * schedule object (or a bit-identical copy) and the same migration
+ * depth as the runs it accompanies — matches() spot-checks geometry.
+ */
+class StreamPlan
+{
+  public:
+    StreamPlan(const sched::Schedule &schedule, unsigned migration_depth);
+
+    /** Cheap consistency check against a schedule / depth pair. */
+    bool matches(const sched::Schedule &schedule,
+                 unsigned migration_depth) const;
+
+    const PackedChannel &
+    channel(std::size_t phase, unsigned ch) const
+    {
+        return packed_[phase * channels_ + ch];
+    }
+
+    unsigned migrationDepth() const { return migrationDepth_; }
+
+  private:
+    unsigned channels_ = 0;
+    unsigned migrationDepth_ = 0;
+    std::size_t phaseCount_ = 0;
+    std::size_t nnz_ = 0;
+    std::vector<PackedChannel> packed_; ///< [phase * channels + ch]
+};
+
+/** True when the AVX2 gather+mul kernel is compiled in and usable. */
+bool streamSoaUsesAvx2();
+
+} // namespace arch
+} // namespace chason
+
+#endif // CHASON_ARCH_STREAM_SOA_H_

@@ -13,13 +13,38 @@
  * channel when the sweep reaches it — the cascading refill of Fig. 5
  * happens in the same pass. Elements migrate at most once (only pvt
  * elements are donors), matching the single pvt bit of the wire format.
+ *
+ * Performance notes. Donor pools are lazy: instead of snapshotting every
+ * donor of a channel up front (an O(beats × pes) copy per phase), a pool
+ * keeps a scan cursor walking the source from its tail and materializes
+ * at most kLookahead candidates at a time. This is observationally
+ * identical to the eager snapshot because a slot only ever transitions
+ * pvt→cleared (donated, and removed from the pool in the same step) or
+ * invalid→migrant (pvt=0, never a donor) during the sweep — both are
+ * skipped by the scan either way. The sweep also skips a destination's
+ * fill loop entirely when no donor reaches beyond the current beat, and
+ * terminates as soon as every pool is exhausted; neither shortcut can
+ * change the result, since every individual take is already guarded by
+ * the same remaining-length test.
+ *
+ * The (pass, window) phases are mutually independent, so schedule()
+ * fans them out over a shared core::ThreadPool when jobs > 1. Each
+ * phase's placement + migration is a pure function of (PhaseWork,
+ * config), and results land in a pre-sized vector slot keyed by phase
+ * index — so the parallel path is bit-identical to the sequential one
+ * and the Scheduler purity contract (and ScheduleCache keying) is
+ * preserved. Trace sinks are thread-local; when one is active the
+ * sequential path is used so span attribution stays complete.
  */
 
 #include "sched/crhcs.h"
 
-#include <deque>
-#include <unordered_map>
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <vector>
 
+#include "core/thread_pool.h"
 #include "sched/pe_aware.h"
 #include "trace/trace.h"
 
@@ -43,62 +68,199 @@ bankKey(std::uint32_t row, unsigned pe)
     return (static_cast<std::uint64_t>(row) << 3) | pe;
 }
 
-/** Donor bookkeeping for one source channel. */
+/**
+ * Open-addressing (linear probe) map from bankKey to the last beat the
+ * bank was written. The migration inner loop queries this once per
+ * candidate donor, which made std::unordered_map's allocation-per-node
+ * and pointer chasing a measurable slice of scheduling time; a flat
+ * power-of-two table with Fibonacci hashing is 3-4x cheaper and needs
+ * no per-entry allocation. bankKey is < 2^35, so ~0 (all ones) is a
+ * safe empty marker.
+ */
+class RawTracker
+{
+  public:
+    RawTracker() { rehash(kInitialSlots); }
+
+    /** Last beat the bank was written, or nullptr if never. */
+    const std::size_t *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = indexOf(key);
+        while (keys_[i] != kEmpty) {
+            if (keys_[i] == key)
+                return &vals_[i];
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    void
+    put(std::uint64_t key, std::size_t val)
+    {
+        std::size_t i = indexOf(key);
+        while (keys_[i] != kEmpty) {
+            if (keys_[i] == key) {
+                vals_[i] = val;
+                return;
+            }
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = key;
+        vals_[i] = val;
+        if (++used_ * 4 > keys_.size() * 3)
+            rehash(keys_.size() * 2);
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+    static constexpr std::size_t kInitialSlots = 1024;
+
+    std::size_t
+    indexOf(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9E3779B97F4A7C15ull) >> 32) &
+            mask_;
+    }
+
+    void
+    rehash(std::size_t slots)
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<std::size_t> old_vals = std::move(vals_);
+        keys_.assign(slots, kEmpty);
+        vals_.assign(slots, 0);
+        mask_ = slots - 1;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == kEmpty)
+                continue;
+            std::size_t j = indexOf(old_keys[i]);
+            while (keys_[j] != kEmpty)
+                j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            vals_[j] = old_vals[i];
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::size_t> vals_;
+    std::size_t mask_ = 0;
+    std::size_t used_ = 0;
+};
+
+/**
+ * Donor bookkeeping for one source channel: a lazy tail-first scan that
+ * keeps at most `lookahead` candidates materialized. The window always
+ * holds the deepest remaining donors in (beat desc, pe asc) order — the
+ * exact order the eager snapshot used.
+ *
+ * Invariant: the window is refilled after construction and after every
+ * take, so it is empty only when the channel has no donors left. That
+ * makes empty() and remainingLength() — which the sweep calls once per
+ * (beat, destination) — O(1) reads instead of scan re-entries.
+ *
+ * version() counts every mutation (donor materialized or taken). The
+ * sweep uses it to memoize failed takes: as long as the version is
+ * unchanged, the window holds the same candidates, and RAW stamps only
+ * ever move later, so a take that failed at beat t must keep failing
+ * until the earliest-unblock beat the failure reported.
+ */
 class DonorPool
 {
   public:
     DonorPool(const ChannelWindowSchedule &ch, unsigned pes)
+        : ch_(&ch), pes_(pes),
+          scanBeat_(static_cast<std::ptrdiff_t>(ch.length()) - 1)
     {
-        for (std::size_t b = ch.length(); b-- > 0;) {
-            for (unsigned p = 0; p < pes; ++p) {
-                const Slot &slot = ch.beats[b].slots[p];
-                if (slot.valid && slot.pvt)
-                    donors_.push_back({b, p, slot});
-            }
-        }
+        fill(1);
     }
 
-    bool empty() const { return donors_.empty(); }
+    bool
+    empty() const
+    {
+        return window_.empty();
+    }
 
     /**
      * The source list's length if its trailing donated slots were
      * trimmed right now (deepest remaining donor + 1). The source may
      * also hold migrated-in elements it received during the sweep, but
-     * those only ever land at positions the sweep has already passed,
-     * which are below any remaining donor.
+     * those carry pvt=0 and are never donors, so the scan skips them.
      */
-    std::size_t remainingLength() const
+    std::size_t
+    remainingLength() const
     {
-        return donors_.empty() ? 0 : donors_.front().beat + 1;
+        return window_.empty() ? 0 : window_.front().beat + 1;
+    }
+
+    /** Mutation counter; changes whenever the candidate set changes. */
+    std::uint64_t
+    version() const
+    {
+        return version_;
     }
 
     /**
      * Find, among the first @p lookahead donors (deepest first), one
      * whose row may be written on destination PE @p pe at beat @p t
-     * given the RAW tracker @p last_place; remove and return it.
+     * given the RAW tracker @p last_place; remove and return it. On
+     * failure, @p unblock_beat receives the earliest beat at which any
+     * of the scanned candidates stops being RAW-blocked.
      */
     bool
     take(unsigned pe, std::size_t t, unsigned raw_distance,
-         std::size_t lookahead,
-         const std::unordered_map<std::uint64_t, std::size_t> &last_place,
-         Donor &out)
+         std::size_t lookahead, const RawTracker &last_place, Donor &out,
+         std::size_t &unblock_beat)
     {
-        std::size_t scanned = 0;
-        for (auto it = donors_.begin();
-             it != donors_.end() && scanned < lookahead; ++it, ++scanned) {
-            const auto found = last_place.find(bankKey(it->slot.row, pe));
-            if (found == last_place.end() ||
-                found->second + raw_distance <= t) {
-                out = *it;
-                donors_.erase(it);
+        fill(lookahead);
+        const std::size_t limit = std::min(lookahead, window_.size());
+        std::size_t unblock = std::numeric_limits<std::size_t>::max();
+        for (std::size_t k = 0; k < limit; ++k) {
+            const Donor &d = window_[k];
+            const std::size_t *found =
+                last_place.find(bankKey(d.slot.row, pe));
+            if (found == nullptr || *found + raw_distance <= t) {
+                out = d;
+                window_.erase(window_.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+                ++version_;
+                fill(1);
                 return true;
             }
+            unblock = std::min(unblock, *found + raw_distance);
         }
+        unblock_beat = unblock;
         return false;
     }
 
   private:
-    std::deque<Donor> donors_;
+    /** Advance the tail scan until @p want donors are materialized. */
+    void
+    fill(std::size_t want)
+    {
+        while (window_.size() < want && scanBeat_ >= 0) {
+            const Slot &slot =
+                ch_->beats[static_cast<std::size_t>(scanBeat_)]
+                    .slots[scanPe_];
+            if (slot.valid && slot.pvt) {
+                window_.push_back(
+                    {static_cast<std::size_t>(scanBeat_), scanPe_, slot});
+                ++version_;
+            }
+            if (++scanPe_ >= pes_) {
+                scanPe_ = 0;
+                --scanBeat_;
+            }
+        }
+    }
+
+    const ChannelWindowSchedule *ch_;
+    unsigned pes_;
+    std::ptrdiff_t scanBeat_; ///< next beat the scan will visit
+    unsigned scanPe_ = 0;     ///< next pe the scan will visit
+    std::uint64_t version_ = 0;
+    std::vector<Donor> window_;
 };
 
 /**
@@ -115,7 +277,7 @@ migrateSequential(WindowSchedule &phase, const SchedConfig &config)
 
     for (unsigned dst = 0; dst < channels; ++dst) {
         ChannelWindowSchedule &dst_ch = phase.channels[dst];
-        std::unordered_map<std::uint64_t, std::size_t> last_place;
+        RawTracker last_place;
         for (unsigned depth = 1; depth <= config.migrationDepth;
              ++depth) {
             const unsigned src = (dst + depth) % channels;
@@ -136,16 +298,17 @@ migrateSequential(WindowSchedule &phase, const SchedConfig &config)
                     if (pool.remainingLength() <= t + 1)
                         break;
                     Donor donor;
+                    std::size_t unblock = 0;
                     if (!pool.take(p, t, config.rawDistance,
                                    CrhcsScheduler::kLookahead,
-                                   last_place, donor)) {
+                                   last_place, donor, unblock)) {
                         continue;
                     }
                     slot = donor.slot;
                     slot.pvt = false;
                     slot.peSrc = static_cast<std::uint8_t>(donor.pe);
                     slot.chSrc = static_cast<std::uint8_t>(src);
-                    last_place[bankKey(slot.row, p)] = t;
+                    last_place.put(bankKey(slot.row, p), t);
                     phase.channels[src]
                         .beats[donor.beat]
                         .slots[donor.pe] = Slot();
@@ -155,6 +318,43 @@ migrateSequential(WindowSchedule &phase, const SchedConfig &config)
         }
         dst_ch.trimTrailingStalls(pes);
     }
+}
+
+/**
+ * 0 = auto: CHASON_SCHED_JOBS, then CHASON_JOBS, then the hardware
+ * thread count. CHASON_JOBS is the knob the bench harness documents
+ * for every worker pool; honoring it here keeps one environment
+ * variable in control of all parallelism (the more specific
+ * CHASON_SCHED_JOBS still wins when both are set).
+ */
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    for (const char *name : {"CHASON_SCHED_JOBS", "CHASON_JOBS"}) {
+        if (const char *env = std::getenv(name)) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+        }
+    }
+    return core::ThreadPool::defaultWorkers();
+}
+
+/**
+ * Shared pool for phase fan-out. Separate from BatchEngine's pool on
+ * purpose: a BatchEngine worker calling schedule() blocks in
+ * parallelFor on *this* pool, which is safe, whereas recursively
+ * waiting on its own pool would deadlock. Sized on first use, at least
+ * as wide as the request that created it.
+ */
+core::ThreadPool &
+schedulingPool(unsigned requested)
+{
+    static core::ThreadPool pool(
+        std::max(requested, core::ThreadPool::defaultWorkers()));
+    return pool;
 }
 
 } // namespace
@@ -189,8 +389,21 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
     pool.reserve(channels);
     for (unsigned ch = 0; ch < channels; ++ch)
         pool.emplace_back(phase.channels[ch], pes);
-    std::vector<std::unordered_map<std::uint64_t, std::size_t>> last_place(
-        channels);
+    std::vector<RawTracker> last_place(channels);
+
+    // Failed-take memo per (destination, PE): a take that scanned its
+    // whole lookahead and found every candidate RAW-blocked keeps
+    // failing — with the identical result — until either the candidate
+    // set changes (pool version) or the sweep reaches the earliest
+    // unblock beat the failure reported. RAW stamps are monotone (puts
+    // only ever store later beats), so skipping the re-scan cannot
+    // change the outcome; it removes roughly half the tracker probes of
+    // the sweep.
+    std::vector<std::size_t> retry_beat(
+        static_cast<std::size_t>(channels) * pes, 0);
+    std::vector<std::uint64_t> retry_ver(
+        static_cast<std::size_t>(channels) * pes,
+        std::numeric_limits<std::uint64_t>::max());
 
     // Beat-synchronous sweep. At beat t a channel may (a) fill free
     // slots within its current list, or (b) append one beat — but only
@@ -221,16 +434,31 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
             } else if (t + 1 < dst_ch.length()) {
                 any_open = true; // own beats still ahead of the sweep
             }
-            if (donor_beyond)
-                any_open = true;
+            if (!donor_beyond)
+                continue; // every take below would fail its length guard
+            any_open = true;
 
             for (unsigned p = 0; p < pes; ++p) {
                 Slot &slot = dst_ch.beats[t].slots[p];
                 if (slot.valid)
                     continue;
+                const std::size_t dp =
+                    static_cast<std::size_t>(dst) * pes + p;
+                std::uint64_t chain_ver = 0;
+                for (unsigned depth = 1; depth <= config.migrationDepth;
+                     ++depth) {
+                    const unsigned s = (dst + depth) % channels;
+                    if (s == dst)
+                        break;
+                    chain_ver += pool[s].version();
+                }
+                if (retry_ver[dp] == chain_ver && t < retry_beat[dp])
+                    continue; // memoized failure still holds
                 Donor donor;
                 bool taken = false;
                 unsigned src = 0;
+                std::size_t unblock =
+                    std::numeric_limits<std::size_t>::max();
                 for (unsigned depth = 1;
                      depth <= config.migrationDepth && !taken; ++depth) {
                     src = (dst + depth) % channels;
@@ -241,22 +469,35 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
                     // cannot shrink the makespan.
                     if (pool[src].remainingLength() <= t + 1)
                         continue;
+                    std::size_t pool_unblock =
+                        std::numeric_limits<std::size_t>::max();
                     taken = pool[src].take(p, t, config.rawDistance,
                                            kLookahead, last_place[dst],
-                                           donor);
+                                           donor, pool_unblock);
+                    unblock = std::min(unblock, pool_unblock);
                 }
-                if (!taken)
+                if (!taken) {
+                    retry_ver[dp] = chain_ver;
+                    retry_beat[dp] = unblock;
                     continue;
+                }
                 slot = donor.slot;
                 slot.pvt = false;
                 slot.peSrc = static_cast<std::uint8_t>(donor.pe);
                 slot.chSrc = static_cast<std::uint8_t>(src);
-                last_place[dst][bankKey(slot.row, p)] = t;
+                last_place[dst].put(bankKey(slot.row, p), t);
                 phase.channels[src].beats[donor.beat].slots[donor.pe] =
                     Slot();
             }
         }
         if (!any_open)
+            break;
+        // Once every pool is dry no later beat can change anything —
+        // skip the remaining (pure bookkeeping) sweep iterations.
+        bool donors_left = false;
+        for (unsigned ch = 0; ch < channels && !donors_left; ++ch)
+            donors_left = !pool[ch].empty();
+        if (!donors_left)
             break;
     }
 
@@ -274,8 +515,7 @@ CrhcsScheduler::schedule(const sparse::CsrMatrix &matrix) const
     // preprocessing analysis (bench_preprocessing_cost) compares.
     trace::TraceSink *sink = trace::activeSink();
     double t0 = sink ? sink->nowUs() : 0.0;
-    const std::vector<PhaseWork> work_list = buildPhaseWork(matrix,
-                                                            config_);
+    const PhaseWorkList work_list = buildPhaseWork(matrix, config_);
     if (sink) {
         trace::SpanEvent span;
         span.name = "crhcs.build_phase_work";
@@ -286,19 +526,31 @@ CrhcsScheduler::schedule(const sparse::CsrMatrix &matrix) const
         sink->addCounter("crhcs.phases", work_list.size());
     }
 
-    std::vector<WindowSchedule> phases;
+    std::vector<WindowSchedule> phases(work_list.size());
+    const unsigned jobs = resolveJobs(jobs_);
+    if (sink == nullptr && jobs > 1 && work_list.size() > 1) {
+        // Phases are independent; order is restored by indexing, so
+        // the result is bit-identical to the sequential loop below.
+        schedulingPool(jobs).parallelFor(
+            work_list.size(), [&](std::size_t i) {
+                phases[i] =
+                    PeAwareScheduler::schedulePhase(work_list[i], config_);
+                migratePhase(phases[i], config_, strategy_);
+            });
+        return finalize(matrix, name(), std::move(phases));
+    }
+
     double place_us = 0.0, migrate_us = 0.0;
-    for (const PhaseWork &work : work_list) {
+    for (std::size_t i = 0; i < work_list.size(); ++i) {
         double p0 = sink ? sink->nowUs() : 0.0;
-        WindowSchedule phase = PeAwareScheduler::schedulePhase(work,
-                                                               config_);
+        phases[i] = PeAwareScheduler::schedulePhase(work_list[i],
+                                                    config_);
         double p1 = sink ? sink->nowUs() : 0.0;
-        migratePhase(phase, config_, strategy_);
+        migratePhase(phases[i], config_, strategy_);
         if (sink) {
             place_us += p1 - p0;
             migrate_us += sink->nowUs() - p1;
         }
-        phases.push_back(std::move(phase));
     }
     if (sink) {
         trace::SpanEvent place;

@@ -82,6 +82,18 @@ class CrhcsScheduler : public Scheduler
 
     MigrationStrategy strategy() const { return strategy_; }
 
+    /**
+     * Worker count for scheduling the independent (pass, window) phases
+     * in parallel. 0 (the default) resolves to the CHASON_SCHED_JOBS
+     * environment variable, then CHASON_JOBS (the bench harness's
+     * worker knob), falling back to the hardware thread count;
+     * 1 forces the sequential path. Deliberately NOT part of SchedConfig
+     * or name(): the parallel path is bit-identical to the sequential
+     * one, so the jobs knob must not fragment core::ScheduleCache keys.
+     */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
+    unsigned jobs() const { return jobs_; }
+
     Schedule schedule(const sparse::CsrMatrix &matrix) const override;
 
     /**
@@ -95,6 +107,7 @@ class CrhcsScheduler : public Scheduler
 
   private:
     MigrationStrategy strategy_;
+    unsigned jobs_ = 0; ///< 0 = auto (CHASON_SCHED_JOBS, CHASON_JOBS, hw)
 };
 
 } // namespace sched

@@ -18,7 +18,7 @@ RowBasedScheduler::schedule(const sparse::CsrMatrix &matrix) const
     const unsigned d = config_.rawDistance;
 
     std::vector<WindowSchedule> phases;
-    for (PhaseWork &pw : buildPhaseWork(matrix, config_)) {
+    for (const PhaseWork &pw : buildPhaseWork(matrix, config_)) {
         WindowSchedule ws;
         ws.pass = pw.pass;
         ws.window = pw.window;
@@ -34,20 +34,20 @@ RowBasedScheduler::schedule(const sparse::CsrMatrix &matrix) const
             // different row has no constraint (different accumulator).
             std::size_t t = 0;
             for (const RowRun &run : pw.lanes[lane]) {
-                for (std::size_t i = 0; i < run.elems.size(); ++i) {
+                for (std::uint32_t i = 0; i < run.len; ++i) {
                     if (i > 0)
                         t += d; // wait out the RAW dependency
                     if (cws.beats.size() <= t)
                         cws.beats.resize(t + 1);
                     Slot &slot = cws.beats[t].slots[pe];
                     slot.valid = true;
-                    slot.value = run.elems[i].second;
+                    slot.value = pw.val(run, i);
                     slot.row = run.row;
-                    slot.col = run.elems[i].first;
+                    slot.col = pw.col(run, i);
                     slot.pvt = true;
                     slot.peSrc = static_cast<std::uint8_t>(pe);
                     slot.chSrc = static_cast<std::uint8_t>(ch);
-                    if (i + 1 == run.elems.size())
+                    if (i + 1 == run.len)
                         ++t; // next row may issue on the next beat
                 }
             }

@@ -83,7 +83,7 @@ Schedule::passes() const
     return (rows + config.rowsPerPass() - 1) / config.rowsPerPass();
 }
 
-std::vector<PhaseWork>
+PhaseWorkList
 buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
 {
     config.validate();
@@ -95,52 +95,124 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
     chason_assert(windows >= 1 || matrix.nnz() == 0,
                   "matrix with nnz needs at least one window");
 
-    // phase index = pass * windows + window
-    std::vector<PhaseWork> work(
-        static_cast<std::size_t>(passes) * windows);
-    for (std::uint32_t pass = 0; pass < passes; ++pass) {
-        for (std::uint32_t w = 0; w < windows; ++w) {
-            PhaseWork &pw = work[static_cast<std::size_t>(pass) * windows
-                                 + w];
-            pw.pass = pass;
-            pw.window = w;
-            pw.lanes.resize(map.lanes());
-        }
-    }
+    const std::size_t lanes = map.lanes();
+    // cell index = (pass * windows + window) * lanes + lane
+    const std::size_t phase_count =
+        static_cast<std::size_t>(passes) * windows;
+    const std::size_t cells = phase_count * lanes;
 
     const auto &row_ptr = matrix.rowPtr();
     const auto &col_idx = matrix.colIdx();
     const auto &values = matrix.values();
+    const std::uint32_t wc = config.windowCols;
+
+    // Counting pass: exact run / nnz totals per cell and per phase.
+    // Column indices are sorted within a row, so each row splits into
+    // consecutive window segments; a segment is delimited by one upper
+    // column bound instead of a per-element division.
+    std::vector<std::uint32_t> run_count(cells, 0);
+    std::vector<std::size_t> cell_nnz(cells, 0);
+    std::vector<std::size_t> phase_nnz(phase_count, 0);
     for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
         const unsigned lane = map.laneOf(r);
         const std::uint32_t pass = r / config.rowsPerPass();
-        // Column indices are sorted within the row, so the row's entries
-        // split into consecutive window segments.
+        const std::size_t row_cell_base =
+            (static_cast<std::size_t>(pass) * windows) * lanes + lane;
         std::size_t i = row_ptr[r];
-        while (i < row_ptr[r + 1]) {
-            const std::uint32_t w = col_idx[i] / config.windowCols;
-            PhaseWork &pw =
-                work[static_cast<std::size_t>(pass) * windows + w];
-            RowRun run;
-            run.row = r;
-            while (i < row_ptr[r + 1] &&
-                   col_idx[i] / config.windowCols == w) {
-                run.elems.emplace_back(col_idx[i], values[i]);
-                ++i;
-            }
-            pw.nnz += run.elems.size();
-            pw.lanes[lane].push_back(std::move(run));
+        const std::size_t end = row_ptr[r + 1];
+        while (i < end) {
+            const std::uint32_t w = col_idx[i] / wc;
+            const std::uint64_t bound =
+                (static_cast<std::uint64_t>(w) + 1) * wc;
+            std::size_t j = i + 1;
+            while (j < end && col_idx[j] < bound)
+                ++j;
+            const std::size_t c =
+                row_cell_base + static_cast<std::size_t>(w) * lanes;
+            ++run_count[c];
+            cell_nnz[c] += j - i;
+            phase_nnz[static_cast<std::size_t>(pass) * windows + w] += j - i;
+            i = j;
         }
     }
 
-    // Drop empty phases.
-    std::vector<PhaseWork> result;
-    result.reserve(work.size());
-    for (PhaseWork &pw : work) {
-        if (pw.nnz > 0)
-            result.push_back(std::move(pw));
+    // One arena block holds every run; cells own contiguous sub-ranges.
+    // Element data is re-packed per phase in the same (lane, run) order,
+    // so each cell also gets a data cursor into its phase's arrays.
+    std::size_t total_runs = 0;
+    std::vector<std::size_t> cursor(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+        cursor[c] = total_runs;
+        total_runs += run_count[c];
     }
-    return result;
+
+    PhaseWorkList list;
+    RowRun *runs = list.arena_.allocate<RowRun>(total_runs);
+    std::vector<float *> phase_vals(phase_count, nullptr);
+    std::vector<std::uint32_t *> phase_cols(phase_count, nullptr);
+    std::vector<std::size_t> data_cursor(cells, 0);
+
+    // Phase descriptors (empty phases omitted), per-lane span tables and
+    // per-phase element buffers.
+    for (std::size_t p = 0; p < phase_count; ++p) {
+        if (phase_nnz[p] == 0)
+            continue;
+        PhaseWork pw;
+        pw.pass = static_cast<std::uint32_t>(p / windows);
+        pw.window = static_cast<std::uint32_t>(p % windows);
+        pw.nnz = phase_nnz[p];
+        phase_vals[p] = list.arena_.allocate<float>(phase_nnz[p]);
+        phase_cols[p] = list.arena_.allocate<std::uint32_t>(phase_nnz[p]);
+        pw.vals = phase_vals[p];
+        pw.cols = phase_cols[p];
+        auto *table =
+            list.arena_.allocate<common::Span<const RowRun>>(lanes);
+        std::size_t data_off = 0;
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t c = p * lanes + lane;
+            table[lane] = {runs + cursor[c], run_count[c]};
+            data_cursor[c] = data_off;
+            data_off += cell_nnz[c];
+        }
+        pw.lanes = {table, lanes};
+        list.phases_.push_back(pw);
+    }
+
+    // Fill pass: same segmentation, writing each run slice and copying
+    // its elements into the phase's contiguous buffers.
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+        const unsigned lane = map.laneOf(r);
+        const std::uint32_t pass = r / config.rowsPerPass();
+        const std::size_t row_cell_base =
+            (static_cast<std::size_t>(pass) * windows) * lanes + lane;
+        std::size_t i = row_ptr[r];
+        const std::size_t end = row_ptr[r + 1];
+        while (i < end) {
+            const std::uint32_t w = col_idx[i] / wc;
+            const std::uint64_t bound =
+                (static_cast<std::uint64_t>(w) + 1) * wc;
+            std::size_t j = i + 1;
+            while (j < end && col_idx[j] < bound)
+                ++j;
+            const std::size_t c =
+                row_cell_base + static_cast<std::size_t>(w) * lanes;
+            const std::size_t p =
+                static_cast<std::size_t>(pass) * windows + w;
+            RowRun &run = runs[cursor[c]++];
+            run.row = r;
+            run.len = static_cast<std::uint32_t>(j - i);
+            run.offset = data_cursor[c];
+            std::copy(values.begin() + static_cast<std::ptrdiff_t>(i),
+                      values.begin() + static_cast<std::ptrdiff_t>(j),
+                      phase_vals[p] + data_cursor[c]);
+            std::copy(col_idx.begin() + static_cast<std::ptrdiff_t>(i),
+                      col_idx.begin() + static_cast<std::ptrdiff_t>(j),
+                      phase_cols[p] + data_cursor[c]);
+            data_cursor[c] += j - i;
+            i = j;
+        }
+    }
+    return list;
 }
 
 std::vector<EncodedElement>

@@ -18,29 +18,14 @@ CscMatrix::fromCsr(const CsrMatrix &csr)
     CscMatrix out;
     out.rows_ = csr.rows();
     out.cols_ = csr.cols();
-    out.colPtr_.assign(static_cast<std::size_t>(csr.cols()) + 1, 0);
+    out.colPtr_ = columnPointers(csr);
     out.rowIdx_.resize(csr.nnz());
     out.values_.resize(csr.nnz());
-
-    // Counting sort by column: count, prefix-sum, scatter. Row indices
-    // come out sorted within each column because CSR iterates rows in
-    // ascending order.
-    for (std::size_t i = 0; i < csr.nnz(); ++i)
-        ++out.colPtr_[csr.colIdx()[i] + 1];
-    for (std::uint32_t c = 0; c < csr.cols(); ++c)
-        out.colPtr_[c + 1] += out.colPtr_[c];
-
-    std::vector<std::size_t> cursor(out.colPtr_.begin(),
-                                    out.colPtr_.end() - 1);
-    for (std::uint32_t r = 0; r < csr.rows(); ++r) {
-        for (std::size_t i = csr.rowPtr()[r]; i < csr.rowPtr()[r + 1];
-             ++i) {
-            const std::uint32_t c = csr.colIdx()[i];
-            out.rowIdx_[cursor[c]] = r;
-            out.values_[cursor[c]] = csr.values()[i];
-            ++cursor[c];
-        }
-    }
+    // Counting-sort scatter (cache-blocked above a size threshold); row
+    // indices come out sorted within each column because the scatter
+    // walks CSR rows in ascending order.
+    scatterByColumn(csr, out.colPtr_, out.rowIdx_.data(),
+                    out.values_.data());
     return out;
 }
 

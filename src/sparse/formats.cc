@@ -143,12 +143,19 @@ CsrMatrix::emptyRows() const
 CsrMatrix
 CsrMatrix::transpose() const
 {
-    CooMatrix coo(cols_, rows_);
-    for (std::uint32_t r = 0; r < rows_; ++r) {
-        for (std::size_t i = rowPtr_[r]; i < rowPtr_[r + 1]; ++i)
-            coo.add(colIdx_[i], r, values_[i]);
-    }
-    return coo.toCsr();
+    // A^T in CSR is exactly the column-major scatter of A: the row
+    // pointers of the transpose are the column pointers of A, and a
+    // stable (row-order) scatter leaves each transposed row's column
+    // indices sorted. No sort, no COO round trip.
+    CsrMatrix out;
+    out.rows_ = cols_;
+    out.cols_ = rows_;
+    out.rowPtr_ = columnPointers(*this);
+    out.colIdx_.resize(nnz());
+    out.values_.resize(nnz());
+    scatterByColumn(*this, out.rowPtr_, out.colIdx_.data(),
+                    out.values_.data());
+    return out;
 }
 
 CooMatrix
@@ -169,6 +176,138 @@ CsrMatrix::describe() const
     std::snprintf(buf, sizeof(buf), "%ux%u, %zu nnz, %.4g%%", rows_, cols_,
                   nnz(), densityPercent());
     return buf;
+}
+
+std::vector<std::size_t>
+columnPointers(const CsrMatrix &a)
+{
+    std::vector<std::size_t> col_ptr(static_cast<std::size_t>(a.cols()) +
+                                         1,
+                                     0);
+    for (std::uint32_t c : a.colIdx())
+        ++col_ptr[c + 1];
+    for (std::uint32_t c = 0; c < a.cols(); ++c)
+        col_ptr[c + 1] += col_ptr[c];
+    return col_ptr;
+}
+
+namespace {
+
+/** Smallest power of two >= v (v >= 1). */
+std::uint32_t
+ceilPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** log2 of a power of two. */
+unsigned
+log2Pow2(std::uint32_t v)
+{
+    unsigned s = 0;
+    while ((1u << s) < v)
+        ++s;
+    return s;
+}
+
+/**
+ * Default column-block width: 2^15 columns keep the active cursor slice
+ * at 256 KiB (size_t cursors), inside L2 alongside the output region.
+ */
+constexpr std::uint32_t kDefaultBlockCols = 1u << 15;
+
+/** Below this the whole cursor array fits in cache anyway. */
+constexpr std::size_t kBlockedScatterMinNnz = 1u << 20;
+
+void
+scatterDirect(const CsrMatrix &a, const std::vector<std::size_t> &col_ptr,
+              std::uint32_t *idx_out, float *val_out)
+{
+    const auto &row_ptr = a.rowPtr();
+    const auto &col_idx = a.colIdx();
+    const auto &values = a.values();
+    std::vector<std::size_t> cursor(col_ptr.begin(), col_ptr.end() - 1);
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const std::uint32_t c = col_idx[i];
+            idx_out[cursor[c]] = r;
+            val_out[cursor[c]] = values[i];
+            ++cursor[c];
+        }
+    }
+}
+
+} // namespace
+
+void
+scatterByColumn(const CsrMatrix &a,
+                const std::vector<std::size_t> &col_ptr,
+                std::uint32_t *idx_out, float *val_out,
+                std::uint32_t block_cols)
+{
+    chason_assert(col_ptr.size() ==
+                      static_cast<std::size_t>(a.cols()) + 1,
+                  "col_ptr has %zu entries for %u columns",
+                  col_ptr.size(), a.cols());
+    const std::size_t nnz = a.nnz();
+    const bool auto_block = block_cols == 0;
+    if (auto_block)
+        block_cols = kDefaultBlockCols;
+    block_cols = ceilPow2(block_cols);
+    if (block_cols >= a.cols() ||
+        (auto_block && nnz < kBlockedScatterMinNnz)) {
+        scatterDirect(a, col_ptr, idx_out, val_out);
+        return;
+    }
+
+    // Pass 1: stable counting sort of the entries by column block, so
+    // pass 2 reads each block's entries contiguously and still sees
+    // them in ascending row order (which keeps rows sorted within each
+    // output column, exactly like the direct scatter).
+    const unsigned shift = log2Pow2(block_cols);
+    const std::uint32_t blocks = (a.cols() + block_cols - 1) / block_cols;
+    const auto &row_ptr = a.rowPtr();
+    const auto &col_idx = a.colIdx();
+    const auto &values = a.values();
+
+    std::vector<std::size_t> block_start(blocks + 1, 0);
+    for (std::uint32_t c : col_idx)
+        ++block_start[(c >> shift) + 1];
+    for (std::uint32_t b = 0; b < blocks; ++b)
+        block_start[b + 1] += block_start[b];
+
+    std::vector<std::uint32_t> part_row(nnz);
+    std::vector<std::uint32_t> part_col(nnz);
+    std::vector<float> part_val(nnz);
+    {
+        std::vector<std::size_t> bcur(block_start.begin(),
+                                      block_start.end() - 1);
+        for (std::uint32_t r = 0; r < a.rows(); ++r) {
+            for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+                const std::uint32_t c = col_idx[i];
+                const std::size_t pos = bcur[c >> shift]++;
+                part_row[pos] = r;
+                part_col[pos] = c;
+                part_val[pos] = values[i];
+            }
+        }
+    }
+
+    // Pass 2: scatter block by block. All cursor and output accesses
+    // of one block stay inside its column range.
+    std::vector<std::size_t> cursor(col_ptr.begin(), col_ptr.end() - 1);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        for (std::size_t k = block_start[b]; k < block_start[b + 1];
+             ++k) {
+            const std::uint32_t c = part_col[k];
+            idx_out[cursor[c]] = part_row[k];
+            val_out[cursor[c]] = part_val[k];
+            ++cursor[c];
+        }
+    }
 }
 
 std::vector<double>

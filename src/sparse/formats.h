@@ -121,6 +121,33 @@ class CsrMatrix
 };
 
 /**
+ * Exclusive prefix sums of the per-column non-zero counts of @p a
+ * (size cols + 1): the row pointers of A^T, or CSC column pointers.
+ */
+std::vector<std::size_t> columnPointers(const CsrMatrix &a);
+
+/**
+ * Counting-sort scatter of a CSR matrix into column-major order.
+ * @p col_ptr must come from columnPointers(a). For each non-zero, in
+ * (column, row) order, writes the source row to @p idx_out and the
+ * value to @p val_out (both sized a.nnz()). Backs both
+ * CsrMatrix::transpose and CscMatrix::fromCsr.
+ *
+ * The scatter writes land at col_ptr-derived cursors, i.e. randomly
+ * across the whole output for a sequential input walk. Above a size
+ * threshold the entries are first partitioned (stably) into runs of
+ * @p block_cols consecutive columns, so the second pass touches only a
+ * cache-sized cursor slice and output region at a time. The blocked
+ * and direct paths produce byte-identical arrays; @p block_cols is
+ * rounded up to a power of two, 0 picks the size heuristically, and
+ * any value >= a.cols() forces the direct path.
+ */
+void scatterByColumn(const CsrMatrix &a,
+                     const std::vector<std::size_t> &col_ptr,
+                     std::uint32_t *idx_out, float *val_out,
+                     std::uint32_t block_cols = 0);
+
+/**
  * Reference SpMV in double precision: y = A x. This is the golden model
  * every accelerator simulation is checked against.
  */

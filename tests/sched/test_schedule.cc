@@ -115,7 +115,8 @@ TEST(BuildPhaseWork, SplitsByWindowAndLane)
     coo.add(0, 0, 1.0f);   // window 0, lane 0
     coo.add(0, 20, 2.0f);  // window 1, lane 0
     coo.add(9, 39, 3.0f);  // window 2, lane 1 (9 % 8)
-    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    const sparse::CsrMatrix csr = coo.toCsr();
+    const auto work = buildPhaseWork(csr, cfg);
     ASSERT_EQ(work.size(), 3u); // three non-empty windows
     EXPECT_EQ(work[0].window, 0u);
     EXPECT_EQ(work[0].nnz, 1u);
@@ -131,7 +132,8 @@ TEST(BuildPhaseWork, EmptyWindowsOmitted)
     SchedConfig cfg = tinyConfig();
     sparse::CooMatrix coo(4, 64); // 4 windows of 16
     coo.add(1, 50, 1.0f);         // only window 3 has work
-    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    const sparse::CsrMatrix csr = coo.toCsr();
+    const auto work = buildPhaseWork(csr, cfg);
     ASSERT_EQ(work.size(), 1u);
     EXPECT_EQ(work[0].window, 3u);
 }
@@ -143,7 +145,8 @@ TEST(BuildPhaseWork, MultiplePasses)
     coo.add(0, 0, 1.0f);   // pass 0
     coo.add(70, 0, 1.0f);  // pass 1
     coo.add(129, 0, 1.0f); // pass 2
-    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    const sparse::CsrMatrix csr = coo.toCsr();
+    const auto work = buildPhaseWork(csr, cfg);
     ASSERT_EQ(work.size(), 3u);
     EXPECT_EQ(work[0].pass, 0u);
     EXPECT_EQ(work[1].pass, 1u);
@@ -156,12 +159,16 @@ TEST(BuildPhaseWork, RowSplitAcrossWindowsKeepsColumnOrder)
     sparse::CooMatrix coo(2, 48);
     for (std::uint32_t c = 0; c < 48; c += 4)
         coo.add(1, c, static_cast<float>(c));
-    const auto work = buildPhaseWork(coo.toCsr(), cfg);
+    const sparse::CsrMatrix csr = coo.toCsr();
+    const auto work = buildPhaseWork(csr, cfg);
     ASSERT_EQ(work.size(), 3u);
     for (const auto &pw : work) {
         const auto &runs = pw.lanes[1];
         ASSERT_EQ(runs.size(), 1u);
-        EXPECT_EQ(runs[0].elems.size(), 4u);
+        EXPECT_EQ(runs[0].len, 4u);
+        // Slices reference the CSR arrays directly, in column order.
+        for (std::uint32_t i = 1; i < runs[0].len; ++i)
+            EXPECT_LT(pw.col(runs[0], i - 1), pw.col(runs[0], i));
     }
 }
 

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Perf-trajectory gate: compare a freshly emitted BENCH_*.json against
+ * a committed baseline with a tolerance band.
+ *
+ *   chason_perf_gate --current BENCH_sched.json \
+ *                    --baseline bench/baselines/BENCH_sched.prepr.json \
+ *                    --min-ratio 1.8
+ *
+ * For every tier in the baseline (or just the one named by --tier),
+ * the current report must reach at least min-ratio times the baseline
+ * throughput. With the committed
+ * pre-rewrite baselines, min-ratio > 1 gates the speedup itself (the
+ * band sits below the measured medians to absorb machine noise); with
+ * a same-revision baseline, min-ratio slightly below 1 is a plain
+ * regression gate. Exits non-zero on a miss — unless soft mode is on
+ * (--soft, or the gate was built under ASan/TSan, whose overhead makes
+ * wall-clock thresholds meaningless), which reports but always exits 0.
+ *
+ * The reader is deliberately minimal: it understands exactly the
+ * one-tier-object-per-line layout bench::writePerfJson produces, not
+ * general JSON.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct TierReading
+{
+    std::string tier;
+    double throughputPerS = 0.0;
+    double medianMs = 0.0;
+};
+
+/** Extract `"key":` followed by a number from @p line, or NAN. */
+bool
+numberField(const std::string &line, const char *key, double &out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(line.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
+std::vector<TierReading>
+readReport(const char *path)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (f == nullptr) {
+        std::fprintf(stderr, "perf-gate: cannot open %s\n", path);
+        std::exit(2);
+    }
+    std::vector<TierReading> out;
+    char buf[1024];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+        const std::string line = buf;
+        const std::size_t pos = line.find("\"tier\":\"");
+        if (pos == std::string::npos)
+            continue;
+        const std::size_t start = pos + std::strlen("\"tier\":\"");
+        const std::size_t end = line.find('"', start);
+        if (end == std::string::npos)
+            continue;
+        TierReading r;
+        r.tier = line.substr(start, end - start);
+        if (!numberField(line, "throughput_per_s", r.throughputPerS))
+            continue;
+        numberField(line, "median_ms", r.medianMs);
+        out.push_back(r);
+    }
+    std::fclose(f);
+    if (out.empty()) {
+        std::fprintf(stderr, "perf-gate: no tier records in %s\n", path);
+        std::exit(2);
+    }
+    return out;
+}
+
+bool
+builtSanitized()
+{
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    return true;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *current_path = nullptr;
+    const char *baseline_path = nullptr;
+    const char *only_tier = nullptr;
+    double min_ratio = 0.9;
+    bool soft = builtSanitized();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc)
+            current_path = argv[++i];
+        else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baseline_path = argv[++i];
+        else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc)
+            min_ratio = std::strtod(argv[++i], nullptr);
+        else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc)
+            only_tier = argv[++i];
+        else if (std::strcmp(argv[i], "--soft") == 0)
+            soft = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: chason_perf_gate --current A.json "
+                         "--baseline B.json [--min-ratio R] "
+                         "[--tier NAME] [--soft]\n");
+            return 2;
+        }
+    }
+    if (current_path == nullptr || baseline_path == nullptr) {
+        std::fprintf(stderr, "perf-gate: --current and --baseline are "
+                     "required\n");
+        return 2;
+    }
+
+    const std::vector<TierReading> current = readReport(current_path);
+    const std::vector<TierReading> baseline = readReport(baseline_path);
+
+    std::printf("perf-gate: %s vs %s (min ratio %.2f%s)\n", current_path,
+                baseline_path, min_ratio, soft ? ", soft" : "");
+    bool ok = true;
+    bool tier_seen = false;
+    for (const TierReading &base : baseline) {
+        if (only_tier != nullptr && base.tier != only_tier)
+            continue;
+        tier_seen = true;
+        const TierReading *cur = nullptr;
+        for (const TierReading &c : current) {
+            if (c.tier == base.tier)
+                cur = &c;
+        }
+        if (cur == nullptr) {
+            std::printf("  %-7s MISSING from current report\n",
+                        base.tier.c_str());
+            ok = false;
+            continue;
+        }
+        const double ratio = base.throughputPerS > 0.0
+            ? cur->throughputPerS / base.throughputPerS
+            : 0.0;
+        const bool pass = ratio >= min_ratio;
+        std::printf("  %-7s %10.3g/s vs %10.3g/s  ratio %5.2fx  %s\n",
+                    base.tier.c_str(), cur->throughputPerS,
+                    base.throughputPerS, ratio, pass ? "ok" : "FAIL");
+        ok = ok && pass;
+    }
+    if (only_tier != nullptr && !tier_seen) {
+        std::fprintf(stderr, "perf-gate: tier '%s' not in baseline\n",
+                     only_tier);
+        return 2;
+    }
+    if (!ok && soft) {
+        std::printf("perf-gate: below band, but soft mode is on "
+                    "(sanitizer or --soft) — not failing the run\n");
+        return 0;
+    }
+    std::printf("perf-gate: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
