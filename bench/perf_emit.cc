@@ -81,22 +81,58 @@ medianOf(std::vector<double> samples)
     return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
+namespace {
+
+/** First line of @p command's output, or "" on any failure. */
+std::string
+commandLine(const char *command)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE *p = popen(command, "r")) {
+        char buf[128] = {0};
+        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+        pclose(p);
+        if (got) {
+            buf[std::strcspn(buf, "\r\n")] = '\0';
+            return buf;
+        }
+    }
+#else
+    (void)command;
+#endif
+    return "";
+}
+
+} // namespace
+
 std::string
 gitRevision()
 {
-    std::string rev = "unknown";
-#if defined(__unix__) || defined(__APPLE__)
-    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-        char buf[64] = {0};
-        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
-            buf[std::strcspn(buf, "\r\n")] = '\0';
-            if (buf[0] != '\0')
-                rev = buf;
-        }
-        pclose(p);
+    // Explicit override first: CI pipelines that measure an exported
+    // tree (no .git) stamp the revision they checked out.
+    if (const char *env = std::getenv("CHASON_GIT_REV");
+        env != nullptr && *env != '\0') {
+        return env;
     }
+    std::string rev =
+        commandLine("git rev-parse --short HEAD 2>/dev/null");
+    if (!rev.empty()) {
+        // A dirty tree measures code that HEAD does not contain; an
+        // unmarked HEAD stamp would attribute the numbers to the wrong
+        // revision (how the seed rev ended up on post-rewrite BENCH
+        // files). Mark it rather than lie.
+        if (!commandLine(
+                 "git status --porcelain 2>/dev/null | head -n 1")
+                 .empty()) {
+            rev += "-dirty";
+        }
+        return rev;
+    }
+#ifdef CHASON_GIT_REV
+    return CHASON_GIT_REV; // configure-time fallback (no git at runtime)
+#else
+    return "unknown";
 #endif
-    return rev;
 }
 
 void
@@ -116,11 +152,13 @@ writePerfJson(const std::string &path, const std::string &bench,
             "  {\"tier\":\"%s\",\"rows\":%u,\"cols\":%u,\"nnz\":%zu,"
             "\"warmups\":%u,\"iterations\":%u,\"median_ms\":%.6g,"
             "\"throughput_per_s\":%.6g,\"cycles\":%llu,"
-            "\"checksum\":%.17g}%s\n",
+            "\"checksum\":%.17g",
             s.tier.c_str(), s.rows, s.cols, s.nnz, s.warmups,
             s.iterations, s.medianMs, s.throughputPerS,
-            static_cast<unsigned long long>(s.cycles), s.checksum,
-            i + 1 < samples.size() ? "," : "");
+            static_cast<unsigned long long>(s.cycles), s.checksum);
+        if (s.coldMedianMs > 0.0)
+            std::fprintf(f, ",\"cold_median_ms\":%.6g", s.coldMedianMs);
+        std::fprintf(f, "}%s\n", i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, " ]}\n");
     std::fclose(f);

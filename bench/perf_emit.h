@@ -64,6 +64,14 @@ struct PerfSample
     std::uint64_t cycles = 0;
     /** Result fingerprint proving two runs measured identical work. */
     double checksum = 0.0;
+
+    /**
+     * Reference cost the tier is measured against, when the bench is
+     * relative (bench_perf_load: cold CrHCS scheduling time, with
+     * throughput_per_s the warm-start speedup). 0 = not applicable;
+     * the field is omitted from the JSON.
+     */
+    double coldMedianMs = 0.0;
 };
 
 /** Monotonic timestamp in milliseconds. */
@@ -72,7 +80,13 @@ double nowMs();
 /** Median of @p samples (takes a copy; empty input returns 0). */
 double medianOf(std::vector<double> samples);
 
-/** `git rev-parse --short HEAD`, or "unknown" outside a checkout. */
+/**
+ * Revision stamp for the report, resolved at emit time: the
+ * CHASON_GIT_REV env var when set, else `git rev-parse --short HEAD`
+ * with a "-dirty" suffix when the working tree has local changes (the
+ * numbers then measure code HEAD does not contain), else the
+ * CHASON_GIT_REV compile definition, else "unknown".
+ */
 std::string gitRevision();
 
 /**

@@ -12,18 +12,20 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # Concurrency tests again under ThreadSanitizer (batch engine, schedule
 # cache, thread pool, RNG streams).
 cmake -B build-tsan -G Ninja -DCHASON_TSAN=ON
-cmake --build build-tsan --target test_batch_engine test_schedule_cache test_rng
-ctest --test-dir build-tsan -R 'test_(batch_engine|schedule_cache|rng)' \
+cmake --build build-tsan --target test_batch_engine test_schedule_cache \
+    test_artifact_cache test_rng
+ctest --test-dir build-tsan \
+    -R 'test_(batch_engine|schedule_cache|artifact_cache|rng)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
 # Memory-safety leg: the parsing/verification surface again under
 # ASan+UBSan (artifact readers, verifier, mutation injector, SARIF).
 cmake -B build-asan -G Ninja -DCHASON_ASAN=ON
 cmake --build build-asan --target \
-    test_matrix_market test_schedule_io test_verifier test_sarif \
-    test_differential
+    test_matrix_market test_schedule_io test_artifact test_verifier \
+    test_sarif test_differential
 ctest --test-dir build-asan \
-    -R 'test_(matrix_market|schedule_io|verifier|sarif|differential)' \
+    -R 'test_(matrix_market|schedule_io|artifact$|verifier|sarif|differential)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
 # Static schedule verification gate: every bundled example schedule must
@@ -41,6 +43,42 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json; json.load(open('verify_output.sarif'))" \
         && echo "SARIF OK: verify_output.sarif" | tee -a test_output.txt
 fi
+
+# CHSA artifact admission gate: pack a schedule artifact, prove the
+# deep admission chain accepts it, then flip one payload byte and one
+# header byte and prove chason_verify rejects both through SARIF
+# (CHV015-018) — the same checks the ScheduleCache disk tier applies
+# before serving a stored schedule.
+rm -f artifact_gate.chsa
+build/tools/chason_pack pack --dataset DY --out artifact_gate.chsa \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_verify --artifact artifact_gate.chsa --deep \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_pack flip --at 5000 artifact_gate.chsa \
+    >> test_output.txt 2>&1
+if build/tools/chason_verify --artifact artifact_gate.chsa \
+    --sarif artifact_gate.sarif >> test_output.txt 2>&1; then
+    echo "FAIL: admission accepted a corrupt artifact payload" \
+        | tee -a test_output.txt
+    exit 1
+fi
+build/tools/chason_pack flip --at 5000 artifact_gate.chsa \
+    >> test_output.txt 2>&1 # restore the payload...
+build/tools/chason_pack flip --at 25 artifact_gate.chsa \
+    >> test_output.txt 2>&1 # ...and tamper with the keyed header
+if build/tools/chason_verify --artifact artifact_gate.chsa \
+    >> test_output.txt 2>&1; then
+    echo "FAIL: admission accepted a tampered artifact header" \
+        | tee -a test_output.txt
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json; json.load(open('artifact_gate.sarif'))" \
+        && echo "SARIF OK: artifact_gate.sarif" | tee -a test_output.txt
+fi
+rm -f artifact_gate.chsa
+echo "ARTIFACT GATE OK: corrupt payload and header both rejected" \
+    | tee -a test_output.txt
 
 # Tracing gate: chason_trace self-checks the cycle-attribution
 # invariant (trace spans must reconcile exactly with the report's
@@ -110,6 +148,21 @@ build/tools/chason_perf_gate --current BENCH_sim.json \
 build/tools/chason_perf_gate --current BENCH_sim.json \
     --baseline bench/baselines/BENCH_sim.prepr.json \
     --tier large --min-ratio 3.0 2>&1 | tee -a test_output.txt
+
+# Warm-start serving gate: BENCH_load.json measures the artifact load
+# path against cold CrHCS scheduling (throughput_per_s is the speedup
+# itself). The committed baseline is same-revision, so the band is a
+# regression gate; the absolute floor holds the headline directly —
+# serving a large-tier schedule from the store must stay >= 20x faster
+# than rescheduling it.
+build/bench/bench_perf_load --out BENCH_load.json \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_load.json \
+    --baseline bench/baselines/BENCH_load.prepr.json --min-ratio 0.5 \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_load.json \
+    --baseline bench/baselines/BENCH_load.prepr.json \
+    --tier large --min-abs 20 2>&1 | tee -a test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do

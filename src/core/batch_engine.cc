@@ -20,6 +20,8 @@ BatchEngine::BatchEngine(BatchOptions options)
       traceSink_(options.traceSink), cache_(options.cacheBudgetBytes),
       pool_(options.workers)
 {
+    if (!options.artifactDir.empty())
+        cache_.setArtifactDir(options.artifactDir);
 }
 
 BatchEngine::~BatchEngine() = default;

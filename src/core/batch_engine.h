@@ -54,6 +54,15 @@ struct BatchOptions
     std::size_t cacheBudgetBytes = ScheduleCache::kDefaultBudgetBytes;
 
     /**
+     * Root of the on-disk schedule-artifact store (CHSA files). When
+     * non-empty the cache runs two-tier: memory misses probe this
+     * directory for a validated artifact before rescheduling, and
+     * fresh schedules are persisted back write-behind. Tools expose
+     * this as --artifact-dir.
+     */
+    std::string artifactDir;
+
+    /**
      * Run the static schedule verifier (verify/verifier.h) on every
      * schedule produced through the engine, once per cached instance.
      * An error-severity diagnostic is fatal(): an illegal schedule must

@@ -222,6 +222,10 @@ toJson(const ScheduleCacheStats &stats)
         .field("misses", stats.misses)
         .field("hit_rate", stats.hitRate())
         .field("evictions", stats.evictions)
+        .field("disk_hits", stats.diskHits)
+        .field("disk_misses", stats.diskMisses)
+        .field("persisted", stats.persisted)
+        .field("corrupt", stats.corrupt)
         .field("entries", static_cast<std::uint64_t>(stats.entries))
         .field("bytes", static_cast<std::uint64_t>(stats.bytes))
         .field("budget_bytes",

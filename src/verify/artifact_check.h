@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Admission checks for CHSA schedule artifacts (CHV015-018).
+ *
+ * The on-disk store (sched/artifact.h) is untrusted input: files get
+ * truncated by full disks, flipped by bad media, or written by newer
+ * format versions. verifyArtifact() runs the full admission chain —
+ * open/map, header magic + version, section structure, every checksum
+ * including the beat payload — and reports each defect as a CHV
+ * diagnostic so chason_verify can export it as SARIF and CI can gate
+ * on it. The two-tier core::ScheduleCache runs the same underlying
+ * checks inline; this wrapper is the reportable face of that gate.
+ */
+
+#ifndef CHASON_VERIFY_ARTIFACT_CHECK_H_
+#define CHASON_VERIFY_ARTIFACT_CHECK_H_
+
+#include <string>
+
+#include "sched/artifact.h"
+#include "verify/verifier.h"
+
+namespace chason {
+namespace verify {
+
+/** The CHV rule an ArtifactStatus maps onto (nullptr for kOk). */
+const char *artifactStatusRule(sched::ArtifactStatus status);
+
+/**
+ * Admission-check the CHSA artifact at @p path: structural validation
+ * and every checksum, payload included. With @p deep set, a file that
+ * passes admission is additionally loaded and run through the static
+ * schedule verifier (CHV004-014, no matrix), so a well-formed file
+ * carrying an illegal schedule is also rejected. Never panics on
+ * malformed input; the verdict is the returned result's clean().
+ */
+VerifyResult verifyArtifact(const std::string &path, bool deep = false);
+
+} // namespace verify
+} // namespace chason
+
+#endif // CHASON_VERIFY_ARTIFACT_CHECK_H_

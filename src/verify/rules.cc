@@ -69,6 +69,22 @@ constexpr RuleInfo kRules[] = {
      "Schedule metadata (rows/cols/nnz/config) is internally "
      "inconsistent with the schedule contents.",
      "Section 3.2 (artifact header)"},
+    {rule::kArtifactMagic, "ArtifactMagic", Severity::kError,
+     "The file is not a CHSA schedule artifact (magic mismatch) or "
+     "cannot be opened/mapped at all.",
+     "docs/ARTIFACT_FORMAT.md (CHSA v1 header)"},
+    {rule::kArtifactVersion, "ArtifactVersion", Severity::kError,
+     "The artifact's format version is one this build does not speak; "
+     "readers never guess across versions.",
+     "docs/ARTIFACT_FORMAT.md (versioning policy)"},
+    {rule::kArtifactChecksum, "ArtifactChecksum", Severity::kError,
+     "A header or section digest does not match the stored bytes: the "
+     "artifact is corrupt and must not be served.",
+     "docs/ARTIFACT_FORMAT.md (checksum rules)"},
+    {rule::kArtifactStructure, "ArtifactStructure", Severity::kError,
+     "The artifact is truncated or structurally inconsistent (section "
+     "table, meta ranges, beat counts, payload alignment).",
+     "docs/ARTIFACT_FORMAT.md (section layout)"},
 };
 
 } // namespace

@@ -34,6 +34,11 @@ inline constexpr const char *kPhaseShape = "CHV011";
 inline constexpr const char *kScugCapacity = "CHV012";
 inline constexpr const char *kPhaseOrder = "CHV013";
 inline constexpr const char *kMetadata = "CHV014";
+// Artifact admission (CHSA files; checked by verify/artifact_check.h).
+inline constexpr const char *kArtifactMagic = "CHV015";
+inline constexpr const char *kArtifactVersion = "CHV016";
+inline constexpr const char *kArtifactChecksum = "CHV017";
+inline constexpr const char *kArtifactStructure = "CHV018";
 } // namespace rule
 
 /** One catalog entry. */

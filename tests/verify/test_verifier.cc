@@ -255,7 +255,7 @@ TEST(Verifier, RuleCatalogIsCompleteAndOrdered)
 {
     std::size_t count = 0;
     const RuleInfo *rules = ruleCatalog(&count);
-    ASSERT_EQ(count, 14u);
+    ASSERT_EQ(count, 18u);
     for (std::size_t i = 0; i < count; ++i) {
         EXPECT_STREQ(rules[i].id, findRule(rules[i].id)->id);
         EXPECT_NE(rules[i].summary, nullptr);

@@ -12,7 +12,11 @@
  * and the printed table are independent of the worker count.
  *
  * Usage: chason_dse [--dataset TAG | --mtx FILE] [--raw D] [--jobs N]
- *        [--verify] [--trace FILE]
+ *        [--verify] [--trace FILE] [--artifact-dir DIR]
+ *
+ * --artifact-dir attaches the on-disk CHSA schedule store, so
+ * re-running an exploration (or sharing its store with chason_sweep)
+ * serves already-computed schedules from mmap instead of rescheduling.
  *
  * --verify statically verifies every schedule the exploration produces
  * (verify/verifier.h) before its latency is estimated; an illegal
@@ -92,6 +96,7 @@ main(int argc, char **argv)
     unsigned jobs = 0; // 0 = one worker per hardware thread
     bool verify = false;
     std::string trace_path;
+    std::string artifact_dir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--dataset" && i + 1 < argc) {
@@ -106,10 +111,13 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--artifact-dir" && i + 1 < argc) {
+            artifact_dir = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: chason_dse [--dataset TAG | --mtx FILE] "
-                         "[--raw D] [--jobs N] [--verify] [--trace FILE]\n");
+                         "[--raw D] [--jobs N] [--verify] [--trace FILE] "
+                         "[--artifact-dir DIR]\n");
             return 2;
         }
     }
@@ -136,6 +144,7 @@ main(int argc, char **argv)
     core::BatchOptions options;
     options.workers = jobs;
     options.verifySchedules = verify;
+    options.artifactDir = artifact_dir;
     if (!trace_path.empty())
         options.traceSink = &sink;
     core::BatchEngine batch(options);

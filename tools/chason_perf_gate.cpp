@@ -13,9 +13,20 @@
  * pre-rewrite baselines, min-ratio > 1 gates the speedup itself (the
  * band sits below the measured medians to absorb machine noise); with
  * a same-revision baseline, min-ratio slightly below 1 is a plain
- * regression gate. Exits non-zero on a miss — unless soft mode is on
+ * regression gate. --min-abs additionally requires an absolute
+ * throughput floor (in the report's own unit — e.g. 20 against
+ * BENCH_load.json gates the >= 20x warm-start speedup headline
+ * directly). Exits non-zero on a miss — unless soft mode is on
  * (--soft, or the gate was built under ASan/TSan, whose overhead makes
  * wall-clock thresholds meaningless), which reports but always exits 0.
+ *
+ * A tier-set mismatch — a baseline tier absent from the current report
+ * or vice versa — is a structural failure, not a timing one: it is
+ * reported by tier name and exits 3 even in soft mode, so a renamed or
+ * dropped tier can never pass as "nothing regressed".
+ *
+ * Exit status: 0 pass, 1 below a band, 2 usage error, 3 tier-set
+ * mismatch.
  *
  * The reader is deliberately minimal: it understands exactly the
  * one-tier-object-per-line layout bench::writePerfJson produces, not
@@ -108,6 +119,7 @@ main(int argc, char **argv)
     const char *baseline_path = nullptr;
     const char *only_tier = nullptr;
     double min_ratio = 0.9;
+    double min_abs = 0.0;
     bool soft = builtSanitized();
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc)
@@ -116,6 +128,8 @@ main(int argc, char **argv)
             baseline_path = argv[++i];
         else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc)
             min_ratio = std::strtod(argv[++i], nullptr);
+        else if (std::strcmp(argv[i], "--min-abs") == 0 && i + 1 < argc)
+            min_abs = std::strtod(argv[++i], nullptr);
         else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc)
             only_tier = argv[++i];
         else if (std::strcmp(argv[i], "--soft") == 0)
@@ -124,7 +138,7 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: chason_perf_gate --current A.json "
                          "--baseline B.json [--min-ratio R] "
-                         "[--tier NAME] [--soft]\n");
+                         "[--min-abs A] [--tier NAME] [--soft]\n");
             return 2;
         }
     }
@@ -137,9 +151,12 @@ main(int argc, char **argv)
     const std::vector<TierReading> current = readReport(current_path);
     const std::vector<TierReading> baseline = readReport(baseline_path);
 
-    std::printf("perf-gate: %s vs %s (min ratio %.2f%s)\n", current_path,
-                baseline_path, min_ratio, soft ? ", soft" : "");
+    std::printf("perf-gate: %s vs %s (min ratio %.2f%s%s)\n",
+                current_path, baseline_path, min_ratio,
+                min_abs > 0.0 ? ", with absolute floor" : "",
+                soft ? ", soft" : "");
     bool ok = true;
+    bool mismatch = false;
     bool tier_seen = false;
     for (const TierReading &base : baseline) {
         if (only_tier != nullptr && base.tier != only_tier)
@@ -151,24 +168,46 @@ main(int argc, char **argv)
                 cur = &c;
         }
         if (cur == nullptr) {
-            std::printf("  %-7s MISSING from current report\n",
-                        base.tier.c_str());
-            ok = false;
+            std::printf("  %-7s MISSING from current report %s\n",
+                        base.tier.c_str(), current_path);
+            mismatch = true;
             continue;
         }
         const double ratio = base.throughputPerS > 0.0
             ? cur->throughputPerS / base.throughputPerS
             : 0.0;
-        const bool pass = ratio >= min_ratio;
+        bool pass = ratio >= min_ratio;
+        if (min_abs > 0.0 && cur->throughputPerS < min_abs)
+            pass = false;
         std::printf("  %-7s %10.3g/s vs %10.3g/s  ratio %5.2fx  %s\n",
                     base.tier.c_str(), cur->throughputPerS,
                     base.throughputPerS, ratio, pass ? "ok" : "FAIL");
         ok = ok && pass;
     }
+    // The other direction: a tier measured now but absent from the
+    // baseline means the reports describe different ladders, and the
+    // new tier is running ungated.
+    for (const TierReading &cur : current) {
+        if (only_tier != nullptr && cur.tier != only_tier)
+            continue;
+        bool in_baseline = false;
+        for (const TierReading &base : baseline)
+            in_baseline = in_baseline || base.tier == cur.tier;
+        if (!in_baseline) {
+            std::printf("  %-7s MISSING from baseline %s\n",
+                        cur.tier.c_str(), baseline_path);
+            mismatch = true;
+        }
+    }
     if (only_tier != nullptr && !tier_seen) {
         std::fprintf(stderr, "perf-gate: tier '%s' not in baseline\n",
                      only_tier);
         return 2;
+    }
+    if (mismatch) {
+        // Structural, not timing: hard even in soft mode.
+        std::printf("perf-gate: FAIL (tier sets disagree)\n");
+        return 3;
     }
     if (!ok && soft) {
         std::printf("perf-gate: below band, but soft mode is on "

@@ -18,6 +18,11 @@
  * Usage:
  *   chason_sweep [--count N] [--table2] [--dozen] [--out FILE]
  *                [--jobs N] [--verify] [--trace FILE]
+ *                [--artifact-dir DIR]
+ *
+ * --artifact-dir attaches the on-disk CHSA schedule store: a repeated
+ * sweep over the same corpus serves every schedule from mmap'd
+ * artifacts (disk hits) instead of rescheduling.
  *
  * --verify runs the static schedule verifier (verify/verifier.h) on
  * every schedule the sweep produces; an illegal schedule aborts the
@@ -100,6 +105,7 @@ main(int argc, char **argv)
     bool dozen = false;
     std::string out_path;
     std::string trace_path;
+    std::string artifact_dir;
     unsigned jobs = 0; // 0 = one worker per hardware thread
     bool verify = false;
 
@@ -120,11 +126,13 @@ main(int argc, char **argv)
             verify = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (arg == "--artifact-dir" && i + 1 < argc) {
+            artifact_dir = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: chason_sweep [--count N] [--table2] "
                          "[--dozen] [--out FILE] [--jobs N] [--verify] "
-                         "[--trace FILE]\n");
+                         "[--trace FILE] [--artifact-dir DIR]\n");
             return 2;
         }
     }
@@ -152,6 +160,7 @@ main(int argc, char **argv)
     core::BatchOptions options;
     options.workers = jobs;
     options.verifySchedules = verify;
+    options.artifactDir = artifact_dir;
     if (!trace_path.empty())
         options.traceSink = &sink;
     core::BatchEngine batch(options);

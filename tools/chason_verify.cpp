@@ -12,7 +12,12 @@
  *  - artifact: load a serialized schedule (--sched FILE), optionally
  *    cross-checking completeness against the originating matrix;
  *  - examples: all three schedulers over a bundle of example matrices
- *    (the run_all.sh CI gate).
+ *    (the run_all.sh CI gate);
+ *  - CHSA admission (--artifact FILE...): run the on-disk
+ *    schedule-artifact admission checks (CHV015-018: magic, version,
+ *    structure, checksums) on store files, the same gate the two-tier
+ *    ScheduleCache applies before serving; --deep additionally loads a
+ *    passing artifact and verifies the schedule itself.
  *
  * --corrupt injects a chosen defect class before verification, to
  * prove the gate actually fires; --differential additionally runs the
@@ -35,6 +40,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/chason.h"
+#include "verify/artifact_check.h"
 
 namespace {
 
@@ -49,6 +55,8 @@ struct Options
     std::string sarifPath;  ///< write SARIF here ("" = none)
     std::string savePath;   ///< serialize the (possibly corrupted) schedule
     std::string corrupt;    ///< defect class to inject ("" = none)
+    std::vector<std::string> artifactPaths; ///< CHSA admission mode
+    bool deep = false;      ///< also verify the schedule a CHSA carries
     bool examples = false;  ///< verify the bundled example schedules
     bool differential = false;
     bool quiet = false;
@@ -73,6 +81,7 @@ usage()
         stderr,
         "usage: chason_verify [--sched FILE] [--mtx FILE | --dataset TAG]\n"
         "                     [--scheduler crhcs|pe-aware|row-based]\n"
+        "                     [--artifact FILE]... [--deep]\n"
         "                     [--examples] [--differential]\n"
         "                     [--corrupt raw|duplicate|drop|value]\n"
         "                     [--sarif FILE] [--save FILE]\n"
@@ -165,6 +174,10 @@ main(int argc, char **argv)
             opt.savePath = argv[++i];
         } else if (arg == "--corrupt" && i + 1 < argc) {
             opt.corrupt = argv[++i];
+        } else if (arg == "--artifact" && i + 1 < argc) {
+            opt.artifactPaths.push_back(argv[++i]);
+        } else if (arg == "--deep") {
+            opt.deep = true;
         } else if (arg == "--examples") {
             opt.examples = true;
         } else if (arg == "--differential") {
@@ -187,6 +200,42 @@ main(int argc, char **argv)
     if (opt.examples &&
         (!opt.schedPath.empty() || !opt.mtxPath.empty())) {
         return usage();
+    }
+
+    // CHSA admission mode: self-contained, no matrix or scheduler.
+    if (!opt.artifactPaths.empty()) {
+        if (opt.examples || !opt.schedPath.empty() ||
+            !opt.mtxPath.empty() || !opt.corrupt.empty()) {
+            return usage();
+        }
+        verify::SarifLog sarif;
+        std::size_t total_errors = 0;
+        std::size_t total_warnings = 0;
+        for (const std::string &path : opt.artifactPaths) {
+            const verify::VerifyResult result =
+                verify::verifyArtifact(path, opt.deep);
+            sarif.addResult(result, path);
+            total_errors += result.errors;
+            total_warnings += result.warnings;
+            if (!opt.quiet) {
+                for (const verify::Diagnostic &d : result.diagnostics)
+                    std::printf("%s: %s\n", path.c_str(),
+                                verify::toString(d).c_str());
+            }
+            std::printf("%s: %s\n", path.c_str(),
+                        result.summary().c_str());
+        }
+        if (!opt.sarifPath.empty()) {
+            std::ofstream out(opt.sarifPath);
+            if (!out)
+                chason_fatal("cannot create '%s'", opt.sarifPath.c_str());
+            out << sarif.toJson();
+        }
+        std::printf("chason_verify: %zu artifacts, %zu errors, %zu "
+                    "warnings\n",
+                    opt.artifactPaths.size(), total_errors,
+                    total_warnings);
+        return total_errors > 0 ? 1 : 0;
     }
 
     sched::SchedConfig base;
