@@ -69,7 +69,7 @@ main(int argc, char **argv)
         std::vector<double> cold_ms;
         std::uint64_t cold_bytes = 0;
         sched::Schedule cold;
-        for (unsigned it = 0; it < tier.iterations; ++it) {
+        while (bench::keepTiming(tier, cold_ms)) {
             const double t0 = bench::nowMs();
             cold = scheduler.schedule(a);
             cold_ms.push_back(bench::nowMs() - t0);
@@ -88,8 +88,15 @@ main(int argc, char **argv)
         // Warm leg: the complete admission + zero-copy load path.
         std::vector<double> load_ms;
         std::uint64_t loaded_bytes = 0;
-        for (unsigned it = 0; it < tier.warmups + tier.iterations;
-             ++it) {
+        for (unsigned w = 0; w < tier.warmups; ++w) {
+            const sched::ArtifactReader reader =
+                sched::ArtifactReader::open(path, &error);
+            chason_assert(reader.ok() && reader.payloadIntact(&error),
+                          "warmup load failed: %s",
+                          error.detail.c_str());
+            (void)reader.load();
+        }
+        while (bench::keepTiming(tier, load_ms)) {
             const double t0 = bench::nowMs();
             const sched::ArtifactReader reader =
                 sched::ArtifactReader::open(path, &error);
@@ -98,9 +105,7 @@ main(int argc, char **argv)
             chason_assert(reader.payloadIntact(&error),
                           "payload rejected: %s", error.detail.c_str());
             const sched::Schedule loaded = reader.load();
-            const double t1 = bench::nowMs();
-            if (it >= tier.warmups)
-                load_ms.push_back(t1 - t0);
+            load_ms.push_back(bench::nowMs() - t0);
             loaded_bytes = sched::scheduleArtifactBytes(loaded);
         }
         chason_assert(loaded_bytes == cold_bytes,
@@ -112,7 +117,7 @@ main(int argc, char **argv)
         s.cols = a.cols();
         s.nnz = a.nnz();
         s.warmups = tier.warmups;
-        s.iterations = tier.iterations;
+        s.iterations = static_cast<unsigned>(load_ms.size());
         s.medianMs = bench::medianOf(load_ms);
         s.coldMedianMs = bench::medianOf(cold_ms);
         s.throughputPerS =

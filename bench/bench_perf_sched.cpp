@@ -53,7 +53,7 @@ main(int argc, char **argv)
 
         std::vector<double> times_ms;
         std::uint64_t artifact = 0;
-        for (unsigned it = 0; it < tier.iterations; ++it) {
+        while (bench::keepTiming(tier, times_ms)) {
             const double t0 = bench::nowMs();
             const sched::Schedule s = scheduler.schedule(a);
             times_ms.push_back(bench::nowMs() - t0);
@@ -66,7 +66,7 @@ main(int argc, char **argv)
         s.cols = a.cols();
         s.nnz = a.nnz();
         s.warmups = tier.warmups;
-        s.iterations = tier.iterations;
+        s.iterations = static_cast<unsigned>(times_ms.size());
         s.medianMs = bench::medianOf(times_ms);
         s.throughputPerS =
             static_cast<double>(a.nnz()) / (s.medianMs / 1000.0);

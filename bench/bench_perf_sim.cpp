@@ -72,7 +72,7 @@ main(int argc, char **argv)
         std::vector<double> times_ms;
         double checksum = 0.0;
         std::uint64_t cycles = 0;
-        for (unsigned it = 0; it < tier.iterations; ++it) {
+        while (bench::keepTiming(tier, times_ms)) {
             const double t0 = bench::nowMs();
             const arch::RunResult r = accel.runPlanned(schedule, plan, x);
             times_ms.push_back(bench::nowMs() - t0);
@@ -88,7 +88,7 @@ main(int argc, char **argv)
         s.cols = a.cols();
         s.nnz = a.nnz();
         s.warmups = tier.warmups;
-        s.iterations = tier.iterations;
+        s.iterations = static_cast<unsigned>(times_ms.size());
         s.medianMs = bench::medianOf(times_ms);
         s.throughputPerS =
             static_cast<double>(cycles) / (s.medianMs / 1000.0);

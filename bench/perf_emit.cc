@@ -62,6 +62,19 @@ selectedPerfTiers()
     return out;
 }
 
+bool
+keepTiming(const PerfTier &tier, const std::vector<double> &times_ms)
+{
+    if (times_ms.size() < tier.iterations)
+        return true;
+    if (times_ms.size() >= kMaxTimedIterations)
+        return false;
+    double total = 0.0;
+    for (const double t : times_ms)
+        total += t;
+    return total < kMinMeasuredMs;
+}
+
 double
 nowMs()
 {
@@ -151,13 +164,25 @@ writePerfJson(const std::string &path, const std::string &bench,
             f,
             "  {\"tier\":\"%s\",\"rows\":%u,\"cols\":%u,\"nnz\":%zu,"
             "\"warmups\":%u,\"iterations\":%u,\"median_ms\":%.6g,"
-            "\"throughput_per_s\":%.6g,\"cycles\":%llu,"
-            "\"checksum\":%.17g",
+            "\"throughput_per_s\":%.6g",
             s.tier.c_str(), s.rows, s.cols, s.nnz, s.warmups,
-            s.iterations, s.medianMs, s.throughputPerS,
-            static_cast<unsigned long long>(s.cycles), s.checksum);
+            s.iterations, s.medianMs, s.throughputPerS);
+        // A zero cycle count means "this bench does not simulate", not
+        // "it simulated nothing" — leave the field out rather than
+        // emit a misleading number.
+        if (s.cycles != 0)
+            std::fprintf(f, ",\"cycles\":%llu",
+                         static_cast<unsigned long long>(s.cycles));
+        std::fprintf(f, ",\"checksum\":%.17g", s.checksum);
         if (s.coldMedianMs > 0.0)
             std::fprintf(f, ",\"cold_median_ms\":%.6g", s.coldMedianMs);
+        if (s.jobsCount > 0)
+            std::fprintf(f, ",\"jobs\":%u", s.jobsCount);
+        if (s.scalingEfficiency >= 0.0)
+            std::fprintf(f, ",\"scaling_efficiency\":%.6g",
+                         s.scalingEfficiency);
+        if (s.cacheHitRate >= 0.0)
+            std::fprintf(f, ",\"cache_hit_rate\":%.6g", s.cacheHitRate);
         std::fprintf(f, "}%s\n", i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, " ]}\n");

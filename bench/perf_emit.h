@@ -12,9 +12,12 @@
  * Methodology (EXPERIMENTS.md "Perf trajectory"): every tier is
  * generated from its pinned tierRng stream, warmed up to steady state
  * (first-touch page faults on the ~100s-of-MB beat storage dominate a
- * cold run), then timed for a fixed iteration count; the report stores
- * the median. A result checksum rides along so an A/B pair can prove
- * it measured identical work.
+ * cold run), then timed under a min-total-time policy (keepTiming):
+ * at least the tier's iteration floor, continuing until >= 1 s of
+ * measured time accumulates, so fast machines collect enough samples
+ * for the median to rise above scheduler noise. The report stores the
+ * median and the sample count actually taken. A result checksum rides
+ * along so an A/B pair can prove it measured identical work.
  */
 
 #ifndef CHASON_BENCH_PERF_EMIT_H_
@@ -35,7 +38,7 @@ struct PerfTier
     std::uint32_t scale;    ///< R-MAT scale (2^scale rows/cols)
     std::size_t nnzTarget;  ///< requested non-zeros
     unsigned warmups;       ///< untimed runs before measuring
-    unsigned iterations;    ///< timed runs; the median is reported
+    unsigned iterations;    ///< minimum timed runs; see keepTiming()
 };
 
 /** The small/medium/large ladder both perf benches measure. */
@@ -48,6 +51,24 @@ const std::vector<PerfTier> &perfTiers();
  */
 std::vector<PerfTier> selectedPerfTiers();
 
+/** keepTiming() keeps iterating until this much measured time. */
+constexpr double kMinMeasuredMs = 1000.0;
+
+/** Hard sample cap so a micro-tier cannot loop unboundedly. */
+constexpr std::size_t kMaxTimedIterations = 201;
+
+/**
+ * Min-total-time iteration policy: true while another timed run
+ * should be taken. Always admits the tier's iteration floor; past it,
+ * keeps going until the samples in @p times_ms sum to kMinMeasuredMs
+ * (capped at kMaxTimedIterations). A fixed 3-iteration loop made the
+ * large-tier median noise-limited on fast machines; anchoring the
+ * budget to measured wall time scales the sample count to however
+ * fast the tier actually runs.
+ */
+bool keepTiming(const PerfTier &tier,
+                const std::vector<double> &times_ms);
+
 /** One measured tier as it appears in the report. */
 struct PerfSample
 {
@@ -56,11 +77,12 @@ struct PerfSample
     std::uint32_t cols = 0;
     std::size_t nnz = 0;
     unsigned warmups = 0;
-    unsigned iterations = 0;
+    unsigned iterations = 0; ///< timed runs actually measured
     double medianMs = 0.0;
     /** nnz/s for scheduling, simulated cycles/s for simulation. */
     double throughputPerS = 0.0;
-    /** Simulated cycle total (0 for the scheduling bench). */
+    /** Simulated cycle total; 0 means the bench does not simulate
+     *  and the field is omitted from the JSON. */
     std::uint64_t cycles = 0;
     /** Result fingerprint proving two runs measured identical work. */
     double checksum = 0.0;
@@ -72,6 +94,18 @@ struct PerfSample
      * the field is omitted from the JSON.
      */
     double coldMedianMs = 0.0;
+
+    /** Worker count driving the tier (bench_perf_batch); 0 = not a
+     *  parallel-batch tier, the field is omitted from the JSON. */
+    unsigned jobsCount = 0;
+
+    /** throughput(jobs) / (throughput(1) * effective parallelism);
+     *  negative = not applicable, the field is omitted. */
+    double scalingEfficiency = -1.0;
+
+    /** Schedule-cache hit rate over the batch; negative = not
+     *  applicable, the field is omitted. */
+    double cacheHitRate = -1.0;
 };
 
 /** Monotonic timestamp in milliseconds. */

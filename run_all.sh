@@ -10,12 +10,12 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # Concurrency tests again under ThreadSanitizer (batch engine, schedule
-# cache, thread pool, RNG streams).
+# cache, work-stealing thread pool, RNG streams).
 cmake -B build-tsan -G Ninja -DCHASON_TSAN=ON
 cmake --build build-tsan --target test_batch_engine test_schedule_cache \
-    test_artifact_cache test_rng
+    test_artifact_cache test_rng test_thread_pool
 ctest --test-dir build-tsan \
-    -R 'test_(batch_engine|schedule_cache|artifact_cache|rng)' \
+    -R 'test_(batch_engine|schedule_cache|artifact_cache|rng|thread_pool)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
 # Memory-safety leg: the parsing/verification surface again under
@@ -141,7 +141,7 @@ build/tools/chason_perf_gate --current BENCH_sched.json \
     2>&1 | tee -a test_output.txt
 build/tools/chason_perf_gate --current BENCH_sched.json \
     --baseline bench/baselines/BENCH_sched.prepr.json \
-    --tier large --min-ratio 2.2 2>&1 | tee -a test_output.txt
+    --tier large --min-ratio 3.5 2>&1 | tee -a test_output.txt
 build/tools/chason_perf_gate --current BENCH_sim.json \
     --baseline bench/baselines/BENCH_sim.prepr.json --min-ratio 1.6 \
     2>&1 | tee -a test_output.txt
@@ -163,6 +163,23 @@ build/tools/chason_perf_gate --current BENCH_load.json \
 build/tools/chason_perf_gate --current BENCH_load.json \
     --baseline bench/baselines/BENCH_load.prepr.json \
     --tier large --min-abs 20 2>&1 | tee -a test_output.txt
+
+# Fleet-throughput gate: BENCH_batch.json drives BatchEngine over the
+# zipf-weighted catalog at jobs=1/2/4/N. The committed baseline is
+# same-revision, so the band is a regression gate on schedules/sec;
+# the absolute floor holds the ISSUE's scaling-efficiency headline
+# (jobs=4 must keep >= 0.7 of the per-effective-worker throughput).
+# Soft under sanitizers via chason_perf_gate's built-in detection,
+# like the legs above.
+build/bench/bench_perf_batch --out BENCH_batch.json \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_batch.json \
+    --baseline bench/baselines/BENCH_batch.prepr.json --min-ratio 0.5 \
+    2>&1 | tee -a test_output.txt
+build/tools/chason_perf_gate --current BENCH_batch.json \
+    --baseline bench/baselines/BENCH_batch.prepr.json \
+    --tier jobs4 --field scaling_efficiency --min-abs 0.7 \
+    --min-ratio 0 2>&1 | tee -a test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do

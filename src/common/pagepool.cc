@@ -1,0 +1,210 @@
+/**
+ * @file
+ * PagePool implementation.
+ */
+
+#include "common/pagepool.h"
+
+#include <bit>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+// ASan defines __SANITIZE_ADDRESS__ under GCC; clang exposes it via
+// __has_feature. Either way the pool steps aside so freed blocks reach
+// the sanitizer's quarantine instead of being recycled.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CHASON_POOL_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CHASON_POOL_SANITIZED 1
+#endif
+
+namespace chason {
+namespace common {
+
+namespace {
+
+/** Blocks below this go straight to malloc — they are cheap to fault
+ *  and would bloat the class table. */
+constexpr std::size_t kMinPooledBytes = std::size_t{1} << 12; // 4 KiB
+
+/** Class i holds blocks of exactly 2^i bytes. 2^40 caps the table. */
+constexpr unsigned kMinClass = 12;
+constexpr unsigned kMaxClass = 40;
+
+constexpr std::size_t kDefaultCapBytes = std::size_t{384} << 20;
+
+unsigned
+classOf(std::size_t bytes)
+{
+    const unsigned cls = static_cast<unsigned>(std::bit_width(bytes - 1));
+    return cls < kMinClass ? kMinClass : cls;
+}
+
+/**
+ * Lifetime of this thread's Pool. The pool is a function-local
+ * thread_local, so its destructor can run *before* static objects
+ * that still hold pool-backed memory (a static BatchEngine's schedule
+ * cache, for example, is torn down inside exit() after TLS cleanup).
+ * Touching the destroyed Pool from pagePoolFree would push into a
+ * dead vector; instead, every entry point checks this state first and
+ * degrades to plain malloc/free once the pool is gone. Blocks are
+ * always malloc-compatible, so releasing a pooled-era block with
+ * std::free after teardown is correct.
+ */
+enum class PoolState : unsigned char { kUninit, kLive, kDead };
+thread_local PoolState g_pool_state = PoolState::kUninit;
+
+struct Pool
+{
+    std::vector<void *> free[kMaxClass + 1];
+    std::size_t held = 0;
+    std::size_t cap;
+
+    Pool()
+    {
+#if defined(CHASON_POOL_SANITIZED)
+        cap = 0;
+#else
+        cap = kDefaultCapBytes;
+        if (const char *env = std::getenv("CHASON_POOL_MB"))
+            cap = static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
+                << 20;
+#endif
+        g_pool_state = PoolState::kLive;
+    }
+
+    ~Pool()
+    {
+        trim();
+        g_pool_state = PoolState::kDead;
+    }
+
+    void
+    trim() noexcept
+    {
+        for (auto &list : free) {
+            for (void *p : list)
+                std::free(p);
+            list.clear();
+        }
+        held = 0;
+    }
+};
+
+Pool &
+pool()
+{
+    static thread_local Pool instance;
+    return instance;
+}
+
+/** Huge-page threshold: blocks of at least one 2 MiB huge page. */
+constexpr unsigned kHugeClass = 21;
+
+/**
+ * Fresh block for a size class. Classes of 2 MiB and up are allocated
+ * huge-page aligned and advised MADV_HUGEPAGE: the beat storage these
+ * classes back is streamed several times per schedule build, and with
+ * the kernel's THP mode at "madvise" an unadvised malloc would pin it
+ * to 4 KiB pages (one dTLB entry per 4 KiB vs per 2 MiB). The advice
+ * is best-effort; the block is valid memory either way, and glibc
+ * free() accepts aligned_alloc blocks.
+ */
+void *
+allocBlock(unsigned cls)
+{
+    const std::size_t size = std::size_t{1} << cls;
+#if defined(__linux__)
+    if (cls >= kHugeClass) {
+        void *block = std::aligned_alloc(std::size_t{1} << kHugeClass,
+                                         size);
+        if (block != nullptr) {
+            (void)madvise(block, size, MADV_HUGEPAGE);
+            return block;
+        }
+    }
+#endif
+    return std::malloc(size);
+}
+
+} // namespace
+
+void *
+pagePoolAlloc(std::size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (g_pool_state == PoolState::kDead)
+        return std::malloc(bytes);
+    Pool &p = pool();
+    if (bytes < kMinPooledBytes || p.cap == 0)
+        return std::malloc(bytes);
+    const unsigned cls = classOf(bytes);
+    if (cls > kMaxClass)
+        return std::malloc(bytes);
+    auto &list = p.free[cls];
+    if (!list.empty()) {
+        void *block = list.back();
+        list.pop_back();
+        p.held -= std::size_t{1} << cls;
+        return block;
+    }
+    return allocBlock(cls);
+}
+
+void
+pagePoolFree(void *ptr, std::size_t bytes) noexcept
+{
+    if (ptr == nullptr)
+        return;
+    if (g_pool_state != PoolState::kLive) {
+        std::free(ptr); // before first alloc or after TLS teardown
+        return;
+    }
+    if (bytes == 0)
+        bytes = 1;
+    Pool &p = pool();
+    const unsigned cls = classOf(bytes);
+    if (bytes < kMinPooledBytes || p.cap == 0 || cls > kMaxClass) {
+        std::free(ptr);
+        return;
+    }
+    const std::size_t size = std::size_t{1} << cls;
+    if (p.held + size > p.cap) {
+        std::free(ptr);
+        return;
+    }
+    try {
+        p.free[cls].push_back(ptr);
+    } catch (...) {
+        std::free(ptr); // freelist growth failed; just release the block
+        return;
+    }
+    p.held += size;
+}
+
+std::size_t
+pagePoolHeldBytes() noexcept
+{
+    if (g_pool_state != PoolState::kLive)
+        return 0;
+    return pool().held;
+}
+
+void
+pagePoolTrim() noexcept
+{
+    if (g_pool_state != PoolState::kLive)
+        return;
+    pool().trim();
+}
+
+} // namespace common
+} // namespace chason

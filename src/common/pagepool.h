@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thread-local recycling allocator for large, short-lived buffers.
+ *
+ * Scheduling builds and frees ~100 MB of beat storage, arena chunks and
+ * scratch per large matrix. glibc returns blocks this size to the
+ * kernel on free, so every schedule() pays the pages back as
+ * first-touch faults plus kernel zeroing — measured as the single
+ * largest cost of the placement write path on the large R-MAT tier.
+ * The pool retains freed blocks in thread-local size-class freelists
+ * (power-of-two classes, capped total), so steady-state scheduling and
+ * the BatchEngine serving loop run entirely on warm, already-mapped
+ * pages.
+ *
+ * Callers must pass the same byte count to pagePoolFree that they
+ * passed to pagePoolAlloc (the std::allocator contract). Blocks may be
+ * freed on a different thread than they were allocated on — they then
+ * recycle through the freeing thread's pool.
+ *
+ * Pooling is disabled (every call falls through to malloc/free) under
+ * ASan/TSan so the sanitizers keep their use-after-free quarantine,
+ * and can be tuned with CHASON_POOL_MB (0 disables, default 384).
+ */
+
+#ifndef CHASON_COMMON_PAGEPOOL_H_
+#define CHASON_COMMON_PAGEPOOL_H_
+
+#include <cstddef>
+
+namespace chason {
+namespace common {
+
+/** Allocate @p bytes (uninitialized; at least malloc-aligned). */
+void *pagePoolAlloc(std::size_t bytes);
+
+/** Return a pagePoolAlloc block of @p bytes to the pool (or free it). */
+void pagePoolFree(void *ptr, std::size_t bytes) noexcept;
+
+/** Bytes currently retained in this thread's freelists. */
+std::size_t pagePoolHeldBytes() noexcept;
+
+/** Release every retained block of this thread back to the system. */
+void pagePoolTrim() noexcept;
+
+} // namespace common
+} // namespace chason
+
+#endif // CHASON_COMMON_PAGEPOOL_H_

@@ -1,28 +1,39 @@
 /**
  * @file
- * Fixed-size worker thread pool for host-side batch work.
+ * Work-stealing worker thread pool for host-side batch work.
  *
- * The pool backs core::BatchEngine: offline scheduling and cycle-level
- * simulation of independent (matrix, config) jobs are embarrassingly
- * parallel, so a plain FIFO queue drained by N workers is all the
- * machinery needed. Tasks must not throw (schedulers and simulators
- * panic via chason_fatal instead); a task that escapes with an
- * exception terminates the process, which is the intended
- * fail-fast behaviour of the harness.
+ * The pool backs core::BatchEngine and the CrHCS phase fan-out. Each
+ * worker owns a chase-lev-style deque: the owner pushes and pops at the
+ * bottom (LIFO, cache-warm), idle workers steal single tasks from the
+ * top of a victim's deque (FIFO, oldest first). Tasks posted from
+ * outside the pool land in a shared FIFO inbox that workers drain
+ * before stealing from each other — with one worker this degenerates to
+ * a plain FIFO queue, which is what keeps the documented `--jobs 1`
+ * ordering guarantee intact. Tasks must not throw (schedulers and
+ * simulators panic via chason_fatal instead); a task that escapes with
+ * an exception terminates the process, which is the intended fail-fast
+ * behaviour of the harness.
  *
- * Thread safety: post(), wait() and parallelFor() may be called from
- * any thread, including concurrently. Tasks themselves may post
- * further tasks, but must not call wait() (a worker waiting for the
- * queue it is supposed to drain deadlocks once all workers do it).
+ * Thread safety: post(), wait(), parallelFor() and parallelForDynamic()
+ * may be called from any thread, including concurrently. Tasks may post
+ * further tasks. parallelFor()/parallelForDynamic() may additionally be
+ * called from *inside* a pool task: the calling worker pushes the
+ * sub-tasks onto its own deque and help-executes pool work until its
+ * join completes, so nested data parallelism cannot deadlock. Plain
+ * wait() remains forbidden inside a task (a worker waiting for the
+ * whole pool to drain deadlocks once every worker does it).
  */
 
 #ifndef CHASON_CORE_THREAD_POOL_H_
 #define CHASON_CORE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,7 +41,7 @@
 namespace chason {
 namespace core {
 
-/** FIFO pool of worker threads; joins on destruction. */
+/** Work-stealing pool of worker threads; joins on destruction. */
 class ThreadPool
 {
   public:
@@ -59,8 +70,8 @@ class ThreadPool
      */
     std::size_t queueDepth() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        return queue_.size();
+        const std::int64_t n = pending_.load(std::memory_order_relaxed);
+        return n > 0 ? static_cast<std::size_t>(n) : 0;
     }
 
     /** Enqueue one task for execution on some worker. */
@@ -74,25 +85,119 @@ class ThreadPool
      * finished (only those n tasks are waited for, so parallelFor can
      * be used while unrelated tasks are in flight). With one worker
      * the calls execute in index order — a `--jobs 1` run is therefore
-     * sequentially identical to the old serial tools. Like wait(),
-     * must not be called from inside a pool task.
+     * sequentially identical to the old serial tools. May be called
+     * from inside a pool task: the worker help-executes pool work
+     * until its n calls have completed.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * Chunked dynamic loop: run body(0) .. body(n-1) as
+     * ceil(n / grainSize) pool tasks of up to grainSize consecutive
+     * indices each, claimed dynamically by whichever worker is free —
+     * an imbalanced chunk therefore no longer strands the others at
+     * the barrier the way a static split would. Blocks until every
+     * index has run. grainSize 0 is clamped to 1. The single-worker
+     * index-order guarantee and the nested-call capability match
+     * parallelFor.
+     */
+    void parallelForDynamic(
+        std::size_t n, std::size_t grainSize,
+        const std::function<void(std::size_t)> &body);
 
     /** hardware_concurrency clamped to at least 1. */
     static unsigned defaultWorkers();
 
   private:
-    void workerLoop();
-    bool runOneTask(std::unique_lock<std::mutex> &lock);
+    struct Task
+    {
+        std::function<void()> fn;
+    };
 
-    mutable std::mutex mutex_;
-    std::condition_variable workReady_;
-    std::condition_variable allDone_;
-    std::deque<std::function<void()>> queue_;
-    std::size_t inFlight_ = 0; ///< queued + currently executing
-    bool stopping_ = false;
+    /**
+     * Chase-lev-style circular work-stealing deque of Task*. The owner
+     * pushes/pops at `bottom`; thieves CAS `top`. The ring grows by
+     * copying live entries into a larger array; retired rings are kept
+     * until pool destruction so a racing thief can still read a stale
+     * cell it already claimed (the standard leak-free variant of the
+     * algorithm's reclamation problem). All cross-thread accesses go
+     * through std::atomic with acquire/release or seq_cst orderings —
+     * no standalone fences, so the code is exact under TSAN.
+     */
+    class WsDeque
+    {
+      public:
+        WsDeque();
+        ~WsDeque();
+
+        /** Owner only: push one task at the bottom. */
+        void push(Task *task);
+
+        /** Owner only: pop the most recently pushed task, or nullptr. */
+        Task *pop();
+
+        /** Any thread: steal the oldest task, or nullptr. */
+        Task *steal();
+
+      private:
+        struct Ring
+        {
+            explicit Ring(std::size_t n);
+            std::size_t mask;
+            std::unique_ptr<std::atomic<Task *>[]> cells;
+        };
+
+        void grow(std::int64_t top, std::int64_t bottom);
+
+        std::atomic<std::int64_t> top_{0};
+        std::atomic<std::int64_t> bottom_{0};
+        std::atomic<Ring *> ring_;
+        std::vector<std::unique_ptr<Ring>> retired_; ///< owner only
+    };
+
+    /** Worker-local identity, set while its thread runs workerLoop. */
+    struct WorkerSlot
+    {
+        WsDeque deque;
+        unsigned index = 0;
+    };
+
+    void workerLoop(unsigned index);
+
+    /** Pop/steal one runnable task from anywhere; nullptr if none. */
+    Task *findTask(unsigned self);
+
+    /** Execute @p task and retire the in-flight accounting. */
+    void runTask(Task *task);
+
+    /** Enqueue, preferring the calling worker's own deque. */
+    void enqueue(Task *task);
+
+    /**
+     * Shared join state of one parallelFor/parallelForDynamic call.
+     * The latch counts chunks; the caller help-executes pool tasks
+     * while it waits, sleeping only when no task is runnable anywhere.
+     */
+    struct Latch
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining = 0;
+    };
+
+    void runChunked(std::size_t chunks,
+                    const std::function<void(std::size_t)> &chunk);
+
+    mutable std::mutex mutex_;          ///< guards inbox_ + sleepers
+    std::condition_variable workReady_; ///< new task / stopping
+    std::condition_variable allDone_;   ///< inFlight_ reached zero
+    std::deque<Task *> inbox_;          ///< external posts, FIFO
+    std::uint64_t epoch_ = 0;           ///< enqueue counter (mutex_)
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::atomic<std::int64_t> pending_{0};  ///< queued, not yet claimed
+    std::atomic<std::int64_t> inFlight_{0}; ///< queued + executing
+    std::atomic<bool> stopping_{false};
     std::vector<std::thread> threads_;
 };
 

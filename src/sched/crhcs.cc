@@ -21,11 +21,14 @@
  * identical to the eager snapshot because a slot only ever transitions
  * pvt→cleared (donated, and removed from the pool in the same step) or
  * invalid→migrant (pvt=0, never a donor) during the sweep — both are
- * skipped by the scan either way. The sweep also skips a destination's
- * fill loop entirely when no donor reaches beyond the current beat, and
- * terminates as soon as every pool is exhausted; neither shortcut can
- * change the result, since every individual take is already guarded by
- * the same remaining-length test.
+ * skipped by the scan either way. The sweep itself is event-driven: it
+ * consumes the free-slot masks placement emits and jumps from hole to
+ * hole (plus each channel's extension point) instead of crossing every
+ * beat, visiting exactly the positions where the beat-synchronous
+ * order could act — see migrateWithMasks for the equivalence argument,
+ * including why a destination whose donors no longer reach beyond the
+ * sweep can be dropped permanently and when a freed source slot is
+ * visible to the remainder of the sweep.
  *
  * The (pass, window) phases are mutually independent, so schedule()
  * fans them out over a shared core::ThreadPool when jobs > 1. Each
@@ -40,7 +43,9 @@
 #include "sched/crhcs.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -53,11 +58,14 @@ namespace sched {
 
 namespace {
 
-/** A migratable element still sitting in its source channel. */
+
+/** A migratable element still sitting in its source channel. 32-bit
+ *  indices keep the entry at 24 bytes (a 2^32-beat channel would be a
+ *  half-terabyte schedule), so shifting the candidate window is cheap. */
 struct Donor
 {
-    std::size_t beat;
-    unsigned pe;
+    std::uint32_t beat;
+    std::uint32_t pe;
     Slot slot;
 };
 
@@ -82,37 +90,62 @@ class RawTracker
   public:
     RawTracker() { rehash(kInitialSlots); }
 
+    /** Last beat bank (row, pe) was written, or kNoBeat if never;
+     *  @p t is unused (this tracker remembers everything — the
+     *  sequential traversal revisits early beats, so nothing can be
+     *  aged out). */
+    std::uint64_t
+    findLast(std::uint32_t row, unsigned pe, std::size_t) const
+    {
+        const std::uint64_t *found = find(bankKey(row, pe));
+        return found != nullptr ? *found : ~std::uint64_t{0};
+    }
+
     /** Last beat the bank was written, or nullptr if never. */
-    const std::size_t *
+    const std::uint64_t *
     find(std::uint64_t key) const
     {
         std::size_t i = indexOf(key);
-        while (keys_[i] != kEmpty) {
-            if (keys_[i] == key)
-                return &vals_[i];
+        while (entries_[i].key != kEmpty) {
+            if (entries_[i].key == key)
+                return &entries_[i].val;
             i = (i + 1) & mask_;
         }
         return nullptr;
     }
 
     void
-    put(std::uint64_t key, std::size_t val)
+    put(std::uint32_t row, unsigned pe, std::uint64_t val)
+    {
+        put(bankKey(row, pe), val);
+    }
+
+    void
+    put(std::uint64_t key, std::uint64_t val)
     {
         std::size_t i = indexOf(key);
-        while (keys_[i] != kEmpty) {
-            if (keys_[i] == key) {
-                vals_[i] = val;
+        while (entries_[i].key != kEmpty) {
+            if (entries_[i].key == key) {
+                entries_[i].val = val;
                 return;
             }
             i = (i + 1) & mask_;
         }
-        keys_[i] = key;
-        vals_[i] = val;
-        if (++used_ * 4 > keys_.size() * 3)
-            rehash(keys_.size() * 2);
+        entries_[i] = {key, val};
+        if (++used_ * 4 > (mask_ + 1) * 3)
+            rehash((mask_ + 1) * 2);
     }
 
   private:
+    /** Key and value side by side: a probe that finds its key reads the
+     *  value from the same cache line, where split key/value arrays
+     *  cost a second miss — half the tracker's memory stalls. */
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint64_t val;
+    };
+
     static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
     static constexpr std::size_t kInitialSlots = 1024;
 
@@ -127,26 +160,83 @@ class RawTracker
     void
     rehash(std::size_t slots)
     {
-        std::vector<std::uint64_t> old_keys = std::move(keys_);
-        std::vector<std::size_t> old_vals = std::move(vals_);
-        keys_.assign(slots, kEmpty);
-        vals_.assign(slots, 0);
+        std::vector<Entry> old = std::move(entries_);
+        entries_.assign(slots, {kEmpty, 0});
         mask_ = slots - 1;
-        for (std::size_t i = 0; i < old_keys.size(); ++i) {
-            if (old_keys[i] == kEmpty)
+        for (const Entry &e : old) {
+            if (e.key == kEmpty)
                 continue;
-            std::size_t j = indexOf(old_keys[i]);
-            while (keys_[j] != kEmpty)
+            std::size_t j = indexOf(e.key);
+            while (entries_[j].key != kEmpty)
                 j = (j + 1) & mask_;
-            keys_[j] = old_keys[i];
-            vals_[j] = old_vals[i];
+            entries_[j] = e;
         }
     }
 
-    std::vector<std::uint64_t> keys_;
-    std::vector<std::size_t> vals_;
+    std::vector<Entry> entries_;
     std::size_t mask_ = 0;
     std::size_t used_ = 0;
+};
+
+/** findLast() result when the bank was never written (recently). */
+constexpr std::uint64_t kNoBeat = ~std::uint64_t{0};
+
+/**
+ * RAW tracker specialized for the balanced sweep, where each
+ * destination's fill beats strictly increase: a placement older than
+ * rawDistance beats can never block again, so only the most recent
+ * rawDistance beats' placements — at most rawDistance * pes entries,
+ * a few hundred bytes — need to be kept. Entries are appended in
+ * non-decreasing beat order and aged by advancing a tail index, so a
+ * lookup is a short linear scan of L1-resident keys instead of a probe
+ * into a hash table that, at large-matrix scale, grows to megabytes
+ * per destination and makes every probe a cache miss. Live keys are
+ * unique (re-placing a key requires its previous placement to have
+ * gone stale), so the scan can run forward and vectorize.
+ */
+class RecentRaw
+{
+  public:
+    void init(unsigned rawDistance) { raw_ = rawDistance; }
+
+    /** Last beat @p row was written within the blocking window of
+     *  beat @p t, or kNoBeat. Queries must come with non-decreasing
+     *  @p t (the sweep's per-destination order). */
+    std::uint64_t
+    findLast(std::uint32_t row, unsigned, std::size_t t)
+    {
+        while (tail_ < beats_.size() &&
+               beats_[tail_] + std::size_t{raw_} <= t)
+            ++tail_;
+        for (std::size_t i = tail_; i < rows_.size(); ++i)
+            if (rows_[i] == row)
+                return beats_[i];
+        return kNoBeat;
+    }
+
+    void
+    put(std::uint32_t row, unsigned, std::size_t beat)
+    {
+        if (tail_ >= kCompactAt) {
+            rows_.erase(rows_.begin(),
+                        rows_.begin() + static_cast<std::ptrdiff_t>(tail_));
+            beats_.erase(beats_.begin(),
+                         beats_.begin() + static_cast<std::ptrdiff_t>(tail_));
+            tail_ = 0;
+        }
+        rows_.push_back(row);
+        beats_.push_back(static_cast<std::uint32_t>(beat));
+    }
+
+  private:
+    /** Aged-out prefix kept before the buffers compact; amortizes the
+     *  erase to O(1) per put. */
+    static constexpr std::size_t kCompactAt = 4096;
+
+    unsigned raw_ = 1;
+    std::size_t tail_ = 0; ///< first still-live entry
+    std::vector<std::uint32_t> rows_;
+    std::vector<std::uint32_t> beats_;
 };
 
 /**
@@ -169,17 +259,42 @@ class RawTracker
 class DonorPool
 {
   public:
-    DonorPool(const ChannelWindowSchedule &ch, unsigned pes)
-        : ch_(&ch), pes_(pes),
+    /**
+     * @p want donors are materialized up front; 0 defers every scan to
+     * prefill()/take() so construction stays O(1) and a batch of pools
+     * can run their first scans in parallel. When @p donorMask is given
+     * (one byte per beat, bit p set iff slot p holds a donor — a valid
+     * private element), the scan walks the mask with word-granular
+     * skipping instead of touching the 128-byte beats; the mask only
+     * needs to be accurate for the not-yet-scanned region, which never
+     * changes during a sweep (donations clear slots behind the scan,
+     * migrated-in elements land in free slots and are not donors).
+     */
+    DonorPool(const ChannelWindowSchedule &ch, unsigned pes,
+              std::size_t want = 1,
+              const std::uint8_t *donorMask = nullptr)
+        : ch_(&ch), pes_(pes), mask_(donorMask),
           scanBeat_(static_cast<std::ptrdiff_t>(ch.length()) - 1)
     {
-        fill(1);
+        fill(want);
+    }
+
+    /**
+     * Materialize up to @p want donors now. Output-invariant: take()
+     * fills to its lookahead on entry anyway, so prefetching candidates
+     * early changes when the scan work happens, never what any take
+     * returns.
+     */
+    void
+    prefill(std::size_t want)
+    {
+        fill(want);
     }
 
     bool
     empty() const
     {
-        return window_.empty();
+        return whead_ == window_.size();
     }
 
     /**
@@ -191,7 +306,7 @@ class DonorPool
     std::size_t
     remainingLength() const
     {
-        return window_.empty() ? 0 : window_.front().beat + 1;
+        return empty() ? 0 : window_[whead_].beat + std::size_t{1};
     }
 
     /** Mutation counter; changes whenever the candidate set changes. */
@@ -208,44 +323,84 @@ class DonorPool
      * failure, @p unblock_beat receives the earliest beat at which any
      * of the scanned candidates stops being RAW-blocked.
      */
+    template <class RawT>
     bool
     take(unsigned pe, std::size_t t, unsigned raw_distance,
-         std::size_t lookahead, const RawTracker &last_place, Donor &out,
+         std::size_t lookahead, RawT &last_place, Donor &out,
          std::size_t &unblock_beat)
     {
         fill(lookahead);
-        const std::size_t limit = std::min(lookahead, window_.size());
+        const std::size_t limit =
+            std::min(lookahead, window_.size() - whead_);
         std::size_t unblock = std::numeric_limits<std::size_t>::max();
         for (std::size_t k = 0; k < limit; ++k) {
-            const Donor &d = window_[k];
-            const std::size_t *found =
-                last_place.find(bankKey(d.slot.row, pe));
-            if (found == nullptr || *found + raw_distance <= t) {
+            const Donor &d = window_[whead_ + k];
+            const std::uint64_t found =
+                last_place.findLast(d.slot.row, pe, t);
+            if (found == kNoBeat || found + raw_distance <= t) {
                 out = d;
-                window_.erase(window_.begin() +
-                              static_cast<std::ptrdiff_t>(k));
+                // The window is a deque over a growing buffer: shift
+                // the k entries ahead of the hole (usually 0-2) one
+                // slot right and bump the head — O(k) instead of the
+                // old vector-erase's O(window) tail memmove, which
+                // dominated the sweep's memory traffic.
+                for (std::size_t i = whead_ + k; i > whead_; --i)
+                    window_[i] = window_[i - 1];
+                if (++whead_ >= kCompactAt) {
+                    window_.erase(window_.begin(),
+                                  window_.begin() +
+                                      static_cast<std::ptrdiff_t>(whead_));
+                    whead_ = 0;
+                }
                 ++version_;
                 fill(1);
                 return true;
             }
-            unblock = std::min(unblock, *found + raw_distance);
+            unblock = std::min(unblock,
+                               static_cast<std::size_t>(found) +
+                                   raw_distance);
         }
         unblock_beat = unblock;
         return false;
     }
 
   private:
+    /** Consumed entries kept before the deque compacts its buffer;
+     *  amortizes the prefix erase to O(1) per take. */
+    static constexpr std::size_t kCompactAt = 4096;
+
+    /** Hint the descending scan's next beats into cache: placement
+     *  streamed them past the hierarchy with non-temporal stores, so
+     *  without the hint every materialization eats a full memory-
+     *  latency read, and the backward stride defeats the hardware
+     *  prefetcher until it locks on. */
+    void
+    prefetchBeat(std::ptrdiff_t b) const
+    {
+        if (b >= 0) {
+            const char *q = reinterpret_cast<const char *>(
+                &ch_->beats[static_cast<std::size_t>(b)]);
+            __builtin_prefetch(q, 0, 1);
+            __builtin_prefetch(q + 64, 0, 1);
+        }
+    }
+
     /** Advance the tail scan until @p want donors are materialized. */
     void
     fill(std::size_t want)
     {
-        while (window_.size() < want && scanBeat_ >= 0) {
+        if (mask_ != nullptr) {
+            fillFromMask(want);
+            return;
+        }
+        while (window_.size() - whead_ < want && scanBeat_ >= 0) {
+            prefetchBeat(scanBeat_ - 2);
             const Slot &slot =
                 ch_->beats[static_cast<std::size_t>(scanBeat_)]
                     .slots[scanPe_];
             if (slot.valid && slot.pvt) {
-                window_.push_back(
-                    {static_cast<std::size_t>(scanBeat_), scanPe_, slot});
+                window_.push_back({static_cast<std::uint32_t>(scanBeat_),
+                                   scanPe_, slot});
                 ++version_;
             }
             if (++scanPe_ >= pes_) {
@@ -255,12 +410,50 @@ class DonorPool
         }
     }
 
+    /** Mask-driven scan: identical materialization order (beat desc,
+     *  pe asc), but donor-free beats cost one byte test and fully
+     *  donated tails are skipped a 64-bit word at a time. */
+    void
+    fillFromMask(std::size_t want)
+    {
+        while (window_.size() - whead_ < want && scanBeat_ >= 0) {
+            prefetchBeat(scanBeat_ - 2);
+            const std::uint8_t bits = static_cast<std::uint8_t>(
+                mask_[scanBeat_] & (0xFFu << scanPe_));
+            if (bits == 0) {
+                scanPe_ = 0;
+                --scanBeat_;
+                while (scanBeat_ >= 7) {
+                    std::uint64_t w;
+                    std::memcpy(&w, mask_ + (scanBeat_ - 7), 8);
+                    if (w != 0)
+                        break;
+                    scanBeat_ -= 8;
+                }
+                continue;
+            }
+            const unsigned pe = static_cast<unsigned>(
+                std::countr_zero(static_cast<unsigned>(bits)));
+            window_.push_back(
+                {static_cast<std::uint32_t>(scanBeat_), pe,
+                 ch_->beats[static_cast<std::size_t>(scanBeat_)]
+                     .slots[pe]});
+            ++version_;
+            if ((scanPe_ = pe + 1) >= pes_) {
+                scanPe_ = 0;
+                --scanBeat_;
+            }
+        }
+    }
+
     const ChannelWindowSchedule *ch_;
     unsigned pes_;
+    const std::uint8_t *mask_;
     std::ptrdiff_t scanBeat_; ///< next beat the scan will visit
     unsigned scanPe_ = 0;     ///< next pe the scan will visit
     std::uint64_t version_ = 0;
-    std::vector<Donor> window_;
+    std::vector<Donor> window_; ///< deque: live entries are [whead_, end)
+    std::size_t whead_ = 0;
 };
 
 /**
@@ -308,7 +501,7 @@ migrateSequential(WindowSchedule &phase, const SchedConfig &config)
                     slot.pvt = false;
                     slot.peSrc = static_cast<std::uint8_t>(donor.pe);
                     slot.chSrc = static_cast<std::uint8_t>(src);
-                    last_place.put(bankKey(slot.row, p), t);
+                    last_place.put(slot.row, p, t);
                     phase.channels[src]
                         .beats[donor.beat]
                         .slots[donor.pe] = Slot();
@@ -384,12 +577,93 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
         return;
     }
 
-    // Donor pools and per-destination RAW trackers.
+    // Rebuild the free-slot and donor bitmaps the hot path receives
+    // straight from placement; this entry point accepts arbitrary
+    // phases (possibly already carrying migrated-in pvt=0 elements), so
+    // it pays one scan over the beats to recover both.
+    FreeSlotMasks masks(channels);
+    FreeSlotMasks donor_masks(channels);
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        const ChannelWindowSchedule &cws = phase.channels[ch];
+        std::vector<std::uint8_t> &m = masks[ch];
+        std::vector<std::uint8_t> &dm = donor_masks[ch];
+        m.resize(cws.length());
+        dm.resize(cws.length());
+        for (std::size_t t = 0; t < m.size(); ++t) {
+            std::uint8_t bits = 0;
+            std::uint8_t donors = 0;
+            for (unsigned p = 0; p < pes; ++p) {
+                const Slot &slot = cws.beats[t].slots[p];
+                if (!slot.valid)
+                    bits |= static_cast<std::uint8_t>(1u << p);
+                else if (slot.pvt)
+                    donors |= static_cast<std::uint8_t>(1u << p);
+            }
+            m[t] = bits;
+            dm[t] = donors;
+        }
+    }
+    migrateWithMasks(phase, config, masks, donor_masks, false, 1);
+}
+
+void
+CrhcsScheduler::migrateWithMasks(WindowSchedule &phase,
+                                 const SchedConfig &config,
+                                 FreeSlotMasks &masks,
+                                 FreeSlotMasks &donorMasks, bool fresh,
+                                 unsigned jobs)
+{
+    const unsigned channels = config.channels;
+    const unsigned pes = config.pesPerGroup();
+    constexpr std::size_t kDoneCh = std::numeric_limits<std::size_t>::max();
+    const std::uint8_t full_mask =
+        static_cast<std::uint8_t>((1u << pes) - 1u);
+
+    // Donor pools and per-destination RAW trackers. Construction is
+    // deferred (want = 0) so the per-channel setup — deriving the donor
+    // bitmap and running the first tail scans — runs sharded across the
+    // scheduling pool when jobs > 1. Each pool's candidate window is
+    // its own buffer and the merge is just the pools vector indexed by
+    // channel, so the sharded setup is deterministic; the prefill
+    // itself is output-invariant (take() fills to the lookahead on
+    // entry anyway), merely moving scan work earlier.
+    if (fresh) {
+        // Fresh placement: every valid slot is private, so the donor
+        // bitmap is exactly the complement of the free bitmap. Sized
+        // here (pointer-stable), bytes computed in the sharded setup.
+        donorMasks.resize(channels);
+        for (unsigned ch = 0; ch < channels; ++ch)
+            donorMasks[ch].resize(masks[ch].size());
+    }
     std::vector<DonorPool> pool;
     pool.reserve(channels);
     for (unsigned ch = 0; ch < channels; ++ch)
-        pool.emplace_back(phase.channels[ch], pes);
-    std::vector<RawTracker> last_place(channels);
+        pool.emplace_back(phase.channels[ch], pes, 0,
+                          donorMasks[ch].data());
+    const auto setupChannel = [&](std::size_t ch) {
+        if (fresh) {
+            const std::vector<std::uint8_t> &fm = masks[ch];
+            std::vector<std::uint8_t> &dm = donorMasks[ch];
+            for (std::size_t t = 0; t < fm.size(); ++t)
+                dm[t] = static_cast<std::uint8_t>(full_mask & ~fm[t]);
+        }
+        pool[ch].prefill(kLookahead);
+    };
+    if (jobs > 1 && channels > 1) {
+        schedulingPool(jobs).parallelForDynamic(channels, 1,
+                                                setupChannel);
+    } else {
+        for (unsigned ch = 0; ch < channels; ++ch)
+            setupChannel(ch);
+    }
+    // One tracker per (destination, PE) bank rather than per
+    // destination: a take only ever queries keys of its own PE, so the
+    // split cuts each lookup's scan to the handful of that bank's
+    // placements within the RAW window.
+    std::vector<RecentRaw> last_place(
+        static_cast<std::size_t>(channels) * pes);
+    for (RecentRaw &raw : last_place)
+        raw.init(config.rawDistance);
 
     // Failed-take memo per (destination, PE): a take that scanned its
     // whole lookahead and found every candidate RAW-blocked keeps
@@ -399,20 +673,64 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
     // only ever store later beats), so skipping the re-scan cannot
     // change the outcome; it removes roughly half the tracker probes of
     // the sweep.
-    std::vector<std::size_t> retry_beat(
-        static_cast<std::size_t>(channels) * pes, 0);
-    std::vector<std::uint64_t> retry_ver(
-        static_cast<std::size_t>(channels) * pes,
-        std::numeric_limits<std::uint64_t>::max());
+    struct RetryMemo
+    {
+        std::uint64_t ver = std::numeric_limits<std::uint64_t>::max();
+        std::size_t beat = 0;
+    };
+    std::vector<RetryMemo> retry(
+        static_cast<std::size_t>(channels) * pes);
 
-    // Beat-synchronous sweep. At beat t a channel may (a) fill free
-    // slots within its current list, or (b) append one beat — but only
-    // while a donor channel's remaining list reaches beyond t, so no
-    // channel ever grows past the emerging balanced makespan.
-    for (std::size_t t = 0;; ++t) {
-        bool any_open = false;
+    // Event-driven sweep, equivalent to the beat-synchronous one (all
+    // channels advance through beat positions together, each pulling
+    // from its donors only while they reach beyond the position) but
+    // visiting only the beats where something can happen: next_t[dst]
+    // is the earliest unswept beat of dst holding a free slot, or its
+    // length (the extension point). Everything in between is fully
+    // valid and the original sweep crossed it without effect. kDoneCh
+    // marks a destination whose donors no longer reach beyond the
+    // sweep; remainingLength() is monotone non-increasing (donation
+    // only removes donors, and migrated-in elements are never donors)
+    // and the sweep position only grows, so that state is permanent
+    // and the destination is dropped for good.
+    std::vector<std::size_t> next_t(channels, 0);
+    // Deepest migrated-in fill per channel (+1); with the pools'
+    // deepest-remaining-donor view this yields each channel's trimmed
+    // length at the end without rescanning its tail.
+    std::vector<std::size_t> fill_len(channels, 0);
+    auto advance = [&masks, &next_t](unsigned ch, std::size_t from) {
+        const std::vector<std::uint8_t> &m = masks[ch];
+        const std::size_t len = m.size();
+        std::size_t b = from;
+        while (b < len && m[b] == 0)
+            ++b;
+        next_t[ch] = b; // b == len: the extension event
+    };
+    for (unsigned ch = 0; ch < channels; ++ch)
+        advance(ch, 0);
+
+    for (;;) {
+        std::size_t t = kDoneCh;
+        for (unsigned ch = 0; ch < channels; ++ch)
+            t = std::min(t, next_t[ch]);
+        if (t == kDoneCh)
+            break;
+        // Visit this beat's destinations in channel order, re-reading
+        // next_t as we go: a donation can free a slot at this very
+        // beat in a not-yet-visited channel, and the beat-synchronous
+        // order would have seen it.
         for (unsigned dst = 0; dst < channels; ++dst) {
+            if (next_t[dst] != t)
+                continue;
             ChannelWindowSchedule &dst_ch = phase.channels[dst];
+            if (t < dst_ch.length()) {
+                // The fill below writes this beat's slots; warm both
+                // of its cache lines while the donor checks run.
+                const char *q =
+                    reinterpret_cast<const char *>(&dst_ch.beats[t]);
+                __builtin_prefetch(q, 1, 1);
+                __builtin_prefetch(q + 64, 1, 1);
+            }
 
             // Does any donor channel still have work beyond beat t?
             bool donor_beyond = false;
@@ -426,22 +744,28 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
                     break;
                 }
             }
-
-            if (t >= dst_ch.length()) {
-                if (!donor_beyond)
-                    continue; // nothing to gain by extending
-                dst_ch.beats.emplace_back();
-            } else if (t + 1 < dst_ch.length()) {
-                any_open = true; // own beats still ahead of the sweep
+            if (!donor_beyond) {
+                next_t[dst] = kDoneCh;
+                continue;
             }
-            if (!donor_beyond)
-                continue; // every take below would fail its length guard
-            any_open = true;
+            if (t >= dst_ch.length()) {
+                dst_ch.beats.emplace_back();
+                masks[dst].push_back(full_mask);
+            }
 
-            for (unsigned p = 0; p < pes; ++p) {
-                Slot &slot = dst_ch.beats[t].slots[p];
-                if (slot.valid)
-                    continue;
+            // Walk the beat's free slots off its mask byte instead of
+            // reading slot.valid out of the 128-byte beat: the mask is
+            // hot, while the beat itself was streamed to memory by
+            // placement and costs a cold read. The mask mirrors
+            // validity exactly (placement emits it, every fill clears
+            // its bit), and only this destination's own fills can
+            // change it at this beat, so iterating a snapshot of the
+            // byte visits the same slots in the same order.
+            std::uint8_t free_bits = masks[dst][t];
+            while (free_bits != 0) {
+                const unsigned p = static_cast<unsigned>(
+                    std::countr_zero(static_cast<unsigned>(free_bits)));
+                free_bits &= static_cast<std::uint8_t>(free_bits - 1u);
                 const std::size_t dp =
                     static_cast<std::size_t>(dst) * pes + p;
                 std::uint64_t chain_ver = 0;
@@ -452,7 +776,7 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
                         break;
                     chain_ver += pool[s].version();
                 }
-                if (retry_ver[dp] == chain_ver && t < retry_beat[dp])
+                if (retry[dp].ver == chain_ver && t < retry[dp].beat)
                     continue; // memoized failure still holds
                 Donor donor;
                 bool taken = false;
@@ -472,37 +796,63 @@ CrhcsScheduler::migratePhase(WindowSchedule &phase,
                     std::size_t pool_unblock =
                         std::numeric_limits<std::size_t>::max();
                     taken = pool[src].take(p, t, config.rawDistance,
-                                           kLookahead, last_place[dst],
+                                           kLookahead, last_place[dp],
                                            donor, pool_unblock);
                     unblock = std::min(unblock, pool_unblock);
                 }
                 if (!taken) {
-                    retry_ver[dp] = chain_ver;
-                    retry_beat[dp] = unblock;
+                    retry[dp] = {chain_ver, unblock};
                     continue;
                 }
+                Slot &slot = dst_ch.beats[t].slots[p];
                 slot = donor.slot;
                 slot.pvt = false;
                 slot.peSrc = static_cast<std::uint8_t>(donor.pe);
                 slot.chSrc = static_cast<std::uint8_t>(src);
-                last_place[dst].put(bankKey(slot.row, p), t);
+                last_place[dp].put(slot.row, p, t);
+                masks[dst][t] &=
+                    static_cast<std::uint8_t>(~(1u << p));
+                if (t + 1 > fill_len[dst])
+                    fill_len[dst] = t + 1;
                 phase.channels[src].beats[donor.beat].slots[donor.pe] =
                     Slot();
+                // Donation visibility: the freed source slot becomes a
+                // fillable hole only where the beat-synchronous order
+                // had not passed it yet — at a later beat, or at this
+                // beat in a channel still ahead of dst this round.
+                if (next_t[src] != kDoneCh &&
+                    (donor.beat > t ||
+                     (donor.beat == t && src > dst))) {
+                    masks[src][donor.beat] |=
+                        static_cast<std::uint8_t>(1u << donor.pe);
+                    if (donor.beat < next_t[src])
+                        next_t[src] = donor.beat;
+                }
             }
+            advance(dst, t + 1);
         }
-        if (!any_open)
-            break;
-        // Once every pool is dry no later beat can change anything —
-        // skip the remaining (pure bookkeeping) sweep iterations.
-        bool donors_left = false;
-        for (unsigned ch = 0; ch < channels && !donors_left; ++ch)
-            donors_left = !pool[ch].empty();
-        if (!donors_left)
-            break;
     }
 
-    for (ChannelWindowSchedule &ch : phase.channels)
-        ch.trimTrailingStalls(pes);
+    if (fresh) {
+        // O(1) trim: a fresh placement has no trailing stalls and only
+        // private slots, so after the sweep each channel's deepest
+        // valid slot is the deeper of its deepest remaining donor
+        // (window front of its pool) and its deepest migrated-in fill
+        // — no need to walk the donated tail beat by beat.
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            const std::size_t new_len =
+                std::max(pool[ch].remainingLength(), fill_len[ch]);
+            ChannelWindowSchedule &cws = phase.channels[ch];
+            if (new_len < cws.length())
+                cws.beats.resize(new_len);
+        }
+    } else {
+        // Arbitrary input phases may hold pvt=0 elements deeper than
+        // any donor, which the pools do not see; fall back to the
+        // beat-walking trim.
+        for (ChannelWindowSchedule &ch : phase.channels)
+            ch.trimTrailingStalls(pes);
+    }
     phase.realign();
 }
 
@@ -528,25 +878,66 @@ CrhcsScheduler::schedule(const sparse::CsrMatrix &matrix) const
 
     std::vector<WindowSchedule> phases(work_list.size());
     const unsigned jobs = resolveJobs(jobs_);
+    // The balanced strategy takes the mask-carrying fast path:
+    // placement emits the free-slot bitmaps as a byproduct and the
+    // migration sweep walks them directly, never rescanning beats.
+    const bool balanced =
+        strategy_ == MigrationStrategy::BeatSynchronous &&
+        config_.migrationDepth > 0 && config_.channels >= 2;
+    const auto runPhase = [&](std::size_t i, unsigned phaseJobs) {
+        if (balanced) {
+            FreeSlotMasks masks;
+            phases[i] = PeAwareScheduler::schedulePhase(work_list[i],
+                                                        config_, &masks);
+            FreeSlotMasks donor_masks;
+            migrateWithMasks(phases[i], config_, masks, donor_masks,
+                             true, phaseJobs);
+        } else {
+            phases[i] =
+                PeAwareScheduler::schedulePhase(work_list[i], config_);
+            migratePhase(phases[i], config_, strategy_);
+        }
+    };
     if (sink == nullptr && jobs > 1 && work_list.size() > 1) {
-        // Phases are independent; order is restored by indexing, so
-        // the result is bit-identical to the sequential loop below.
-        schedulingPool(jobs).parallelFor(
-            work_list.size(), [&](std::size_t i) {
-                phases[i] =
-                    PeAwareScheduler::schedulePhase(work_list[i], config_);
-                migratePhase(phases[i], config_, strategy_);
-            });
+        // Dynamic fan-out, heaviest phases first: with chunk-of-one
+        // claiming, a large phase picked up late can no longer strand
+        // the pool behind a static split's tail. Results land in slots
+        // keyed by the original phase index, so the output is
+        // bit-identical to the sequential loop below at every jobs
+        // value.
+        std::vector<std::uint32_t> order(work_list.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&work_list](std::uint32_t a, std::uint32_t b) {
+                      if (work_list[a].nnz != work_list[b].nnz)
+                          return work_list[a].nnz > work_list[b].nnz;
+                      return a < b;
+                  });
+        schedulingPool(jobs).parallelForDynamic(
+            work_list.size(), 1,
+            [&](std::size_t k) { runPhase(order[k], jobs); });
         return finalize(matrix, name(), std::move(phases));
     }
 
     double place_us = 0.0, migrate_us = 0.0;
     for (std::size_t i = 0; i < work_list.size(); ++i) {
         double p0 = sink ? sink->nowUs() : 0.0;
-        phases[i] = PeAwareScheduler::schedulePhase(work_list[i],
-                                                    config_);
-        double p1 = sink ? sink->nowUs() : 0.0;
-        migratePhase(phases[i], config_, strategy_);
+        double p1 = p0;
+        if (balanced) {
+            FreeSlotMasks masks;
+            phases[i] = PeAwareScheduler::schedulePhase(work_list[i],
+                                                        config_, &masks);
+            p1 = sink ? sink->nowUs() : 0.0;
+            FreeSlotMasks donor_masks;
+            migrateWithMasks(phases[i], config_, masks, donor_masks,
+                             true, sink ? 1u : jobs);
+        } else {
+            phases[i] = PeAwareScheduler::schedulePhase(work_list[i],
+                                                        config_);
+            p1 = sink ? sink->nowUs() : 0.0;
+            migratePhase(phases[i], config_, strategy_);
+        }
         if (sink) {
             place_us += p1 - p0;
             migrate_us += sink->nowUs() - p1;

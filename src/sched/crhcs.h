@@ -106,6 +106,27 @@ class CrhcsScheduler : public Scheduler
                                  MigrationStrategy::BeatSynchronous);
 
   private:
+    /**
+     * Balanced (beat-synchronous) migration driven by the free-slot
+     * masks placement emits, so the sweep walks holes directly instead
+     * of revisiting every beat. @p masks must describe @p phase exactly
+     * (one byte per beat, bit p set iff PE p's slot is a stall) and is
+     * kept in sync as slots fill; the phase must carry no trailing
+     * stall beats. @p donorMasks mirrors the layout with bit p set iff
+     * the slot holds a donor (valid private element); with @p fresh
+     * true the phase is a fresh placement — @p donorMasks may then be
+     * empty (it is derived as the complement of @p masks) and the
+     * final trim is O(1) instead of walking donated tails. With
+     * @p jobs > 1 the per-channel donor-pool setup is sharded over the
+     * scheduling pool; the schedule bytes are bit-identical for every
+     * jobs value.
+     */
+    static void migrateWithMasks(WindowSchedule &phase,
+                                 const SchedConfig &config,
+                                 FreeSlotMasks &masks,
+                                 FreeSlotMasks &donorMasks, bool fresh,
+                                 unsigned jobs);
+
     MigrationStrategy strategy_;
     unsigned jobs_ = 0; ///< 0 = auto (CHASON_SCHED_JOBS, CHASON_JOBS, hw)
 };

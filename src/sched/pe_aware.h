@@ -40,6 +40,16 @@ class PeAwareScheduler : public Scheduler
      */
     static WindowSchedule schedulePhase(const PhaseWork &work,
                                         const SchedConfig &config);
+
+    /**
+     * As above, additionally filling @p freeMasks (when non-null) with
+     * the phase's per-channel free-slot bitmaps — one byte per beat,
+     * bit p set iff PE p's slot is a stall. CrhcsScheduler's migration
+     * pass consumes the masks so it never rescans placed beats.
+     */
+    static WindowSchedule schedulePhase(const PhaseWork &work,
+                                        const SchedConfig &config,
+                                        FreeSlotMasks *freeMasks);
 };
 
 } // namespace sched

@@ -7,11 +7,39 @@
 #include "sched/schedule.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/logging.h"
 
 namespace chason {
 namespace sched {
+
+void
+BeatList::streamCopy(Beat *dst, const Beat *src, std::size_t n)
+{
+#if defined(__SSE2__)
+    // Heap Beat arrays are 16-byte aligned in practice (operator new
+    // aligns to max_align_t and a Beat is 8 x 16 bytes), but the copy
+    // must not rely on it — fall through to memcpy when not.
+    if (((reinterpret_cast<std::uintptr_t>(dst) |
+          reinterpret_cast<std::uintptr_t>(src)) & 15u) == 0) {
+        const auto *s = reinterpret_cast<const __m128i *>(src);
+        auto *d = reinterpret_cast<__m128i *>(dst);
+        const std::size_t words = n * (sizeof(Beat) / 16);
+        for (std::size_t i = 0; i < words; ++i)
+            _mm_stream_si128(d + i, _mm_load_si128(s + i));
+        // Order the streamed beats before anything reads them back.
+        _mm_sfence();
+        return;
+    }
+#endif
+    std::memcpy(dst, src, n * sizeof(Beat));
+}
 
 unsigned
 Beat::validCount(unsigned pes) const
@@ -105,6 +133,16 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
     const auto &col_idx = matrix.colIdx();
     const auto &values = matrix.values();
     const std::uint32_t wc = config.windowCols;
+    const std::uint32_t rows_per_pass = config.rowsPerPass();
+    // Power-of-two window widths (the common case) resolve the
+    // per-segment window index with a shift; the hardware divide
+    // otherwise costs ~20 cycles on each of the millions of segments
+    // the two passes visit.
+    const int wshift =
+        (wc & (wc - 1)) == 0 ? std::countr_zero(wc) : -1;
+    const auto window_of = [wc, wshift](std::uint32_t col) {
+        return wshift >= 0 ? col >> wshift : col / wc;
+    };
 
     // Counting pass: exact run / nnz totals per cell and per phase.
     // Column indices are sorted within a row, so each row splits into
@@ -113,15 +151,18 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
     std::vector<std::uint32_t> run_count(cells, 0);
     std::vector<std::size_t> cell_nnz(cells, 0);
     std::vector<std::size_t> phase_nnz(phase_count, 0);
+    // Rows are visited in order, so the lane cycles and the pass steps
+    // at fixed row boundaries; running counters replace the per-row
+    // modulo / divide of laneOf() and rowsPerPass().
+    unsigned lane = 0;
+    std::uint32_t pass = 0, pass_row = 0;
     for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
-        const unsigned lane = map.laneOf(r);
-        const std::uint32_t pass = r / config.rowsPerPass();
         const std::size_t row_cell_base =
             (static_cast<std::size_t>(pass) * windows) * lanes + lane;
         std::size_t i = row_ptr[r];
         const std::size_t end = row_ptr[r + 1];
         while (i < end) {
-            const std::uint32_t w = col_idx[i] / wc;
+            const std::uint32_t w = window_of(col_idx[i]);
             const std::uint64_t bound =
                 (static_cast<std::uint64_t>(w) + 1) * wc;
             std::size_t j = i + 1;
@@ -133,6 +174,12 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
             cell_nnz[c] += j - i;
             phase_nnz[static_cast<std::size_t>(pass) * windows + w] += j - i;
             i = j;
+        }
+        if (++lane == lanes)
+            lane = 0;
+        if (++pass_row == rows_per_pass) {
+            pass_row = 0;
+            ++pass;
         }
     }
 
@@ -180,15 +227,16 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
 
     // Fill pass: same segmentation, writing each run slice and copying
     // its elements into the phase's contiguous buffers.
+    lane = 0;
+    pass = 0;
+    pass_row = 0;
     for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
-        const unsigned lane = map.laneOf(r);
-        const std::uint32_t pass = r / config.rowsPerPass();
         const std::size_t row_cell_base =
             (static_cast<std::size_t>(pass) * windows) * lanes + lane;
         std::size_t i = row_ptr[r];
         const std::size_t end = row_ptr[r + 1];
         while (i < end) {
-            const std::uint32_t w = col_idx[i] / wc;
+            const std::uint32_t w = window_of(col_idx[i]);
             const std::uint64_t bound =
                 (static_cast<std::uint64_t>(w) + 1) * wc;
             std::size_t j = i + 1;
@@ -202,14 +250,22 @@ buildPhaseWork(const sparse::CsrMatrix &matrix, const SchedConfig &config)
             run.row = r;
             run.len = static_cast<std::uint32_t>(j - i);
             run.offset = data_cursor[c];
-            std::copy(values.begin() + static_cast<std::ptrdiff_t>(i),
-                      values.begin() + static_cast<std::ptrdiff_t>(j),
-                      phase_vals[p] + data_cursor[c]);
-            std::copy(col_idx.begin() + static_cast<std::ptrdiff_t>(i),
-                      col_idx.begin() + static_cast<std::ptrdiff_t>(j),
-                      phase_cols[p] + data_cursor[c]);
+            // Runs average a handful of elements, so plain loops beat
+            // the library copy's memmove dispatch here.
+            float *dv = phase_vals[p] + data_cursor[c];
+            std::uint32_t *dc = phase_cols[p] + data_cursor[c];
+            for (std::size_t k = i; k < j; ++k) {
+                *dv++ = values[k];
+                *dc++ = col_idx[k];
+            }
             data_cursor[c] += j - i;
             i = j;
+        }
+        if (++lane == lanes)
+            lane = 0;
+        if (++pass_row == rows_per_pass) {
+            pass_row = 0;
+            ++pass;
         }
     }
     return list;

@@ -18,11 +18,14 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/pagepool.h"
 #include "sched/config.h"
 #include "sched/element.h"
 #include "sparse/formats.h"
@@ -64,6 +67,67 @@ static_assert(sizeof(Beat) == 16 * kMaxPesPerGroup,
               "Beat layout is pinned by CHSA v1");
 static_assert(std::is_trivially_copyable_v<Beat>,
               "beats are serialized as raw bytes");
+
+namespace detail {
+
+/**
+ * std::allocator, except no-argument (default-)insertion constructs
+ * nothing at all: BeatList grows its tail uninitialized and fills it
+ * with one streaming copy (BeatList::append), instead of having the
+ * vector pre-write the beats — which would drag every cache line
+ * through read-for-ownership right before the copy overwrites it.
+ * Restricted to the trivially copyable Beat, whose bytes carry no
+ * invariants; every argumented insertion (copy, fill, assign)
+ * constructs normally.
+ *
+ * Storage comes from common::PagePool: beat buffers are the bulk of a
+ * schedule's footprint and dominate the process's page-fault bill, so
+ * recycling them across phases and schedule() calls keeps the
+ * placement write path on warm pages.
+ */
+template <class T>
+struct NoInitAlloc
+{
+    using value_type = T;
+
+    NoInitAlloc() = default;
+    template <class U>
+    NoInitAlloc(const NoInitAlloc<U> &) noexcept
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(common::pagePoolAlloc(n * sizeof(T)));
+    }
+    void deallocate(T *p, std::size_t n)
+    {
+        common::pagePoolFree(p, n * sizeof(T));
+    }
+
+    template <class U>
+    void construct(U *) noexcept
+    {
+    }
+    template <class U, class... Args>
+    void construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+
+    template <class U>
+    bool operator==(const NoInitAlloc<U> &) const noexcept
+    {
+        return true;
+    }
+    template <class U>
+    bool operator!=(const NoInitAlloc<U> &) const noexcept
+    {
+        return false;
+    }
+};
+
+} // namespace detail
 
 /**
  * Beat storage that either owns a vector or aliases immutable external
@@ -118,8 +182,45 @@ class BeatList
     Beat &back() { detach(); return owned_.back(); }
 
     void reserve(std::size_t n) { detach(); owned_.reserve(n); }
-    void resize(std::size_t n) { detach(); owned_.resize(n); }
-    Beat &emplace_back() { detach(); return owned_.emplace_back(); }
+
+    /** Resize; beats appended by growth are zero-stall (Beat{}). */
+    void resize(std::size_t n) { detach(); owned_.resize(n, Beat{}); }
+
+    /**
+     * Append @p n copies of @p beat. A fill-insert of the trivially
+     * copyable Beat vectorizes to near-memcpy stores, an order of
+     * magnitude faster than resize()'s per-slot value-init loop —
+     * placement bulk-appends stall templates through this.
+     */
+    void append(std::size_t n, const Beat &beat)
+    {
+        detach();
+        owned_.insert(owned_.end(), n, beat);
+    }
+
+    /**
+     * Append @p n beats from @p src with non-temporal stores. The tail
+     * is grown uninitialized (NoInitAlloc) and the copy streams past
+     * the cache, so the cold storage takes pure write traffic — no
+     * read-for-ownership and no eviction of the scratch the block was
+     * composed in. The capacity must already cover the growth (one
+     * exact reserve() up front); a reallocation here would re-copy
+     * everything appended so far.
+     */
+    void append(const Beat *src, std::size_t n)
+    {
+        detach();
+        const std::size_t old = owned_.size();
+        owned_.resize(old + n); // default-insert: leaves beats raw
+        streamCopy(owned_.data() + old, src, n);
+    }
+
+    Beat &emplace_back()
+    {
+        detach();
+        owned_.push_back(Beat{});
+        return owned_.back();
+    }
     void push_back(const Beat &beat) { detach(); owned_.push_back(beat); }
     void pop_back() { detach(); owned_.pop_back(); }
 
@@ -143,11 +244,22 @@ class BeatList
         backing_.reset();
     }
 
-    std::vector<Beat> owned_;
+    /** memcpy via non-temporal stores (plain memcpy off x86-64). */
+    static void streamCopy(Beat *dst, const Beat *src, std::size_t n);
+
+    std::vector<Beat, detail::NoInitAlloc<Beat>> owned_;
     const Beat *view_ = nullptr;
     std::size_t viewCount_ = 0;
     std::shared_ptr<const void> backing_;
 };
+
+/**
+ * Free-slot bitmap of one phase: masks[ch][t] has bit p set iff slot p
+ * of channel ch's beat t is a stall (invalid slot). Placement emits it
+ * as a byproduct so that migration can walk the holes directly instead
+ * of rescanning every beat's slots.
+ */
+using FreeSlotMasks = std::vector<std::vector<std::uint8_t>>;
 
 /** The beat list one channel streams during one phase. */
 struct ChannelWindowSchedule

@@ -67,7 +67,23 @@ analyzeStructure(const CsrMatrix &a)
     p.meanRowNnz = static_cast<double>(p.nnz) /
         static_cast<double>(p.rows);
 
-    std::sort(lengths.begin(), lengths.end());
+    // Counting sort over the bounded key space [0, maxRowNnz]: row
+    // lengths are small integers, so this is O(rows + maxRowNnz)
+    // sequential traffic instead of a comparator sort, and — keys
+    // being indistinguishable — yields the exact array std::sort
+    // would. Degenerate shapes (a few very long rows) would make the
+    // histogram dominate, so those fall back to the comparator.
+    if (p.maxRowNnz <= lengths.size() * 4) {
+        std::vector<std::size_t> hist(p.maxRowNnz + 1, 0);
+        for (const std::size_t len : lengths)
+            ++hist[len];
+        std::size_t out = 0;
+        for (std::size_t len = 0; len < hist.size(); ++len)
+            for (std::size_t c = 0; c < hist[len]; ++c)
+                lengths[out++] = len;
+    } else {
+        std::sort(lengths.begin(), lengths.end());
+    }
 
     // Gini via the sorted-sum formula:
     // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, i is 1-based.

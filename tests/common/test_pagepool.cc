@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PagePool unit tests: recycling, accounting, trim and the cap.
+ *
+ * The pool is thread-local and tuned by environment variables read at
+ * first use, so these tests only assert behavior that holds under
+ * every configuration — including the sanitizer builds where pooling
+ * is disabled and every call falls through to malloc/free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/pagepool.h"
+
+namespace chason {
+namespace common {
+namespace {
+
+TEST(PagePool, AllocatesUsableMemoryAcrossSizes)
+{
+    for (const std::size_t bytes :
+         {std::size_t{1}, std::size_t{64}, std::size_t{1} << 12,
+          std::size_t{1} << 16, (std::size_t{1} << 20) + 3}) {
+        void *p = pagePoolAlloc(bytes);
+        ASSERT_NE(p, nullptr);
+        // Touch every page: the block must be real, writable memory.
+        std::memset(p, 0xAB, bytes);
+        pagePoolFree(p, bytes);
+    }
+}
+
+TEST(PagePool, RecyclesLargeBlocksWhenPoolingIsOn)
+{
+    pagePoolTrim(); // leftovers from other tests would skew held bytes
+    constexpr std::size_t kBytes = std::size_t{1} << 16;
+    void *first = pagePoolAlloc(kBytes);
+    ASSERT_NE(first, nullptr);
+    pagePoolFree(first, kBytes);
+    if (pagePoolHeldBytes() == 0) {
+        // Pooling disabled (sanitizer build or CHASON_POOL_MB=0):
+        // recycling is intentionally off, nothing further to assert.
+        return;
+    }
+    // Same size class must hand the retained block straight back.
+    void *second = pagePoolAlloc(kBytes);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(pagePoolHeldBytes(), 0u);
+    pagePoolFree(second, kBytes);
+    pagePoolTrim();
+}
+
+TEST(PagePool, HeldBytesTracksFreesAndTrimReleasesAll)
+{
+    pagePoolTrim();
+    std::vector<void *> blocks;
+    constexpr std::size_t kBytes = std::size_t{1} << 14;
+    for (int i = 0; i < 4; ++i)
+        blocks.push_back(pagePoolAlloc(kBytes));
+    EXPECT_EQ(pagePoolHeldBytes(), 0u); // live blocks are not "held"
+    for (void *p : blocks)
+        pagePoolFree(p, kBytes);
+    // Either pooling is off (0 held) or all four round-up classes are.
+    const std::size_t held = pagePoolHeldBytes();
+    if (held != 0)
+        EXPECT_EQ(held, 4 * kBytes);
+    pagePoolTrim();
+    EXPECT_EQ(pagePoolHeldBytes(), 0u);
+}
+
+TEST(PagePool, SubPageAllocationsBypassTheFreelists)
+{
+    pagePoolTrim();
+    void *p = pagePoolAlloc(256); // below the 4 KiB pooling floor
+    ASSERT_NE(p, nullptr);
+    pagePoolFree(p, 256);
+    EXPECT_EQ(pagePoolHeldBytes(), 0u);
+}
+
+} // namespace
+} // namespace common
+} // namespace chason

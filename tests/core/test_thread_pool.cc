@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Work-stealing thread pool tests, written to be run under TSAN as
+ * well as natively (run_all.sh's ThreadSanitizer leg includes this
+ * binary). The stress cases target exactly the hazards a work-stealing
+ * pool adds over a single-queue one: owner-vs-thief races on the deque
+ * (steal-heavy skew), nested parallelFor joins from inside pool tasks,
+ * and shutdown while tasks are still queued and posting more.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace chason {
+namespace {
+
+TEST(ThreadPool, SingleWorkerParallelForRunsInIndexOrder)
+{
+    core::ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(64, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SingleWorkerParallelForDynamicRunsInIndexOrder)
+{
+    core::ThreadPool pool(1);
+    for (std::size_t grain : {1u, 3u, 7u, 100u}) {
+        std::vector<std::size_t> order;
+        pool.parallelForDynamic(
+            65, grain, [&](std::size_t i) { order.push_back(i); });
+        ASSERT_EQ(order.size(), 65u);
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i) << "grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ParallelForDynamicCoversEveryIndexOnce)
+{
+    core::ThreadPool pool(4);
+    for (std::size_t n : {0u, 1u, 17u, 1000u}) {
+        for (std::size_t grain : {0u, 1u, 8u, 64u, 2000u}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h.store(0);
+            pool.parallelForDynamic(n, grain, [&](std::size_t i) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "n " << n << " grain " << grain << " i " << i;
+        }
+    }
+}
+
+TEST(ThreadPool, PostAndWaitStillDrainEverything)
+{
+    core::ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 500; ++i)
+        pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 500);
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(ThreadPool, TasksMayPostFurtherTasks)
+{
+    core::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.post([&pool, &ran] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            pool.post([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerThreads)
+{
+    // Every outer task runs a parallelFor of its own from inside the
+    // pool — the help-execute join must make progress even when outer
+    // tasks outnumber the workers.
+    core::ThreadPool pool(4);
+    constexpr std::size_t kOuter = 32;
+    constexpr std::size_t kInner = 64;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(kOuter, [&](std::size_t o) {
+        pool.parallelForDynamic(kInner, 5, [&, o](std::size_t i) {
+            hits[o * kInner + i].fetch_add(1,
+                                           std::memory_order_relaxed);
+        });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ThreadPool, DoublyNestedParallelFor)
+{
+    core::ThreadPool pool(3);
+    std::atomic<int> leaves{0};
+    pool.parallelFor(6, [&](std::size_t) {
+        pool.parallelFor(4, [&](std::size_t) {
+            pool.parallelForDynamic(8, 3, [&](std::size_t) {
+                leaves.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 6 * 4 * 8);
+}
+
+TEST(ThreadPool, StealHeavySkewedWorkload)
+{
+    // One long-running chunk plus a swarm of tiny ones: the dynamic
+    // split must let the idle workers steal the tail instead of
+    // waiting on a static barrier. The run also hammers the deque's
+    // owner/thief CAS paths, which is the point under TSAN.
+    core::ThreadPool pool(4);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelForDynamic(2048, 1, [&](std::size_t i) {
+        if (i == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 2048ull * 2047ull / 2ull);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmitters)
+{
+    core::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back([&pool, &ran] {
+            for (int i = 0; i < 50; ++i) {
+                pool.parallelForDynamic(20, 4, [&ran](std::size_t) {
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (std::thread &t : submitters)
+        t.join();
+    EXPECT_EQ(ran.load(), 4 * 50 * 20);
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsOutstandingTasks)
+{
+    // The destructor contract: everything posted before destruction
+    // runs, including tasks posted by tasks during the drain.
+    auto ran = std::make_shared<std::atomic<int>>(0);
+    {
+        core::ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.post([&pool, ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ran->fetch_add(1, std::memory_order_relaxed);
+                pool.post([ran] {
+                    ran->fetch_add(1, std::memory_order_relaxed);
+                });
+            });
+        }
+        // No wait(): the destructor must drain all 128.
+    }
+    EXPECT_EQ(ran->load(), 128);
+}
+
+TEST(ThreadPool, WorkerCountAndDefaultClamp)
+{
+    EXPECT_GE(core::ThreadPool::defaultWorkers(), 1u);
+    core::ThreadPool pool(5);
+    EXPECT_EQ(pool.workers(), 5u);
+    core::ThreadPool fallback(0);
+    EXPECT_GE(fallback.workers(), 1u);
+}
+
+} // namespace
+} // namespace chason

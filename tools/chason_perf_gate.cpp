@@ -16,7 +16,10 @@
  * regression gate. --min-abs additionally requires an absolute
  * throughput floor (in the report's own unit — e.g. 20 against
  * BENCH_load.json gates the >= 20x warm-start speedup headline
- * directly). Exits non-zero on a miss — unless soft mode is on
+ * directly). --field compares a different numeric per-tier field than
+ * the default throughput_per_s — e.g. --field scaling_efficiency with
+ * --min-abs 0.7 holds BENCH_batch.json's parallel-efficiency floor.
+ * Exits non-zero on a miss — unless soft mode is on
  * (--soft, or the gate was built under ASan/TSan, whose overhead makes
  * wall-clock thresholds meaningless), which reports but always exits 0.
  *
@@ -61,7 +64,7 @@ numberField(const std::string &line, const char *key, double &out)
 }
 
 std::vector<TierReading>
-readReport(const char *path)
+readReport(const char *path, const char *field)
 {
     std::FILE *f = std::fopen(path, "r");
     if (f == nullptr) {
@@ -81,7 +84,7 @@ readReport(const char *path)
             continue;
         TierReading r;
         r.tier = line.substr(start, end - start);
-        if (!numberField(line, "throughput_per_s", r.throughputPerS))
+        if (!numberField(line, field, r.throughputPerS))
             continue;
         numberField(line, "median_ms", r.medianMs);
         out.push_back(r);
@@ -118,6 +121,7 @@ main(int argc, char **argv)
     const char *current_path = nullptr;
     const char *baseline_path = nullptr;
     const char *only_tier = nullptr;
+    const char *field = "throughput_per_s";
     double min_ratio = 0.9;
     double min_abs = 0.0;
     bool soft = builtSanitized();
@@ -132,13 +136,16 @@ main(int argc, char **argv)
             min_abs = std::strtod(argv[++i], nullptr);
         else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc)
             only_tier = argv[++i];
+        else if (std::strcmp(argv[i], "--field") == 0 && i + 1 < argc)
+            field = argv[++i];
         else if (std::strcmp(argv[i], "--soft") == 0)
             soft = true;
         else {
             std::fprintf(stderr,
                          "usage: chason_perf_gate --current A.json "
                          "--baseline B.json [--min-ratio R] "
-                         "[--min-abs A] [--tier NAME] [--soft]\n");
+                         "[--min-abs A] [--tier NAME] [--field KEY] "
+                         "[--soft]\n");
             return 2;
         }
     }
@@ -148,11 +155,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const std::vector<TierReading> current = readReport(current_path);
-    const std::vector<TierReading> baseline = readReport(baseline_path);
+    const std::vector<TierReading> current =
+        readReport(current_path, field);
+    const std::vector<TierReading> baseline =
+        readReport(baseline_path, field);
 
-    std::printf("perf-gate: %s vs %s (min ratio %.2f%s%s)\n",
-                current_path, baseline_path, min_ratio,
+    std::printf("perf-gate: %s vs %s (field %s, min ratio %.2f%s%s)\n",
+                current_path, baseline_path, field, min_ratio,
                 min_abs > 0.0 ? ", with absolute floor" : "",
                 soft ? ", soft" : "");
     bool ok = true;
