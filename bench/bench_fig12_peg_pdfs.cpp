@@ -11,8 +11,8 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "support.h"
@@ -51,8 +51,8 @@ main()
 
     // CHASON_VERBOSE=1 additionally dumps the per-matrix KDE series —
     // the actual curves of the figure.
-    if (const char *env = std::getenv("CHASON_VERBOSE");
-        env && env[0] == '1') {
+    const std::string verbose = common::envString("CHASON_VERBOSE");
+    if (!verbose.empty() && verbose[0] == '1') {
         for (const sparse::DatasetEntry &entry : sparse::table2()) {
             const sparse::CsrMatrix a = entry.generate();
             std::printf("\n");

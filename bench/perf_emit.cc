@@ -8,9 +8,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "common/buildinfo.h"
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace chason {
@@ -33,11 +33,10 @@ perfTiers()
 std::vector<PerfTier>
 selectedPerfTiers()
 {
-    const char *env = std::getenv("CHASON_PERF_TIERS");
-    if (env == nullptr || *env == '\0')
+    const std::string list = common::envString("CHASON_PERF_TIERS");
+    if (list.empty())
         return perfTiers();
     std::vector<PerfTier> out;
-    const std::string list = env;
     std::size_t pos = 0;
     while (pos <= list.size()) {
         std::size_t comma = list.find(',', pos);
@@ -94,58 +93,14 @@ medianOf(std::vector<double> samples)
     return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
-namespace {
-
-/** First line of @p command's output, or "" on any failure. */
-std::string
-commandLine(const char *command)
-{
-#if defined(__unix__) || defined(__APPLE__)
-    if (FILE *p = popen(command, "r")) {
-        char buf[128] = {0};
-        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
-        pclose(p);
-        if (got) {
-            buf[std::strcspn(buf, "\r\n")] = '\0';
-            return buf;
-        }
-    }
-#else
-    (void)command;
-#endif
-    return "";
-}
-
-} // namespace
-
 std::string
 gitRevision()
 {
-    // Explicit override first: CI pipelines that measure an exported
-    // tree (no .git) stamp the revision they checked out.
-    if (const char *env = std::getenv("CHASON_GIT_REV");
-        env != nullptr && *env != '\0') {
-        return env;
-    }
-    std::string rev =
-        commandLine("git rev-parse --short HEAD 2>/dev/null");
-    if (!rev.empty()) {
-        // A dirty tree measures code that HEAD does not contain; an
-        // unmarked HEAD stamp would attribute the numbers to the wrong
-        // revision (how the seed rev ended up on post-rewrite BENCH
-        // files). Mark it rather than lie.
-        if (!commandLine(
-                 "git status --porcelain 2>/dev/null | head -n 1")
-                 .empty()) {
-            rev += "-dirty";
-        }
-        return rev;
-    }
-#ifdef CHASON_GIT_REV
-    return CHASON_GIT_REV; // configure-time fallback (no git at runtime)
-#else
-    return "unknown";
-#endif
+    // Resolution (override env var, live git query with -dirty marking,
+    // configure-time fallback) lives in common/buildinfo.cc so the
+    // SARIF emitters stamp the same revision string the BENCH reports
+    // carry.
+    return common::gitRevision();
 }
 
 void

@@ -6,8 +6,8 @@
 #include "support.h"
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "sparse/generators.h"
@@ -18,12 +18,8 @@ namespace bench {
 std::size_t
 corpusSize()
 {
-    if (const char *env = std::getenv("CHASON_CORPUS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<std::size_t>(v);
-    }
-    return 800;
+    const std::uint64_t v = common::envUint("CHASON_CORPUS", 0);
+    return v > 0 ? static_cast<std::size_t>(v) : 800;
 }
 
 Rng
@@ -42,11 +38,9 @@ tierRng(const std::string &tier)
 unsigned
 jobCount()
 {
-    if (const char *env = std::getenv("CHASON_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
+    const std::uint64_t v = common::envUint("CHASON_JOBS", 0);
+    if (v > 0)
+        return static_cast<unsigned>(v);
     return 0; // BatchEngine default: one worker per hardware thread
 }
 

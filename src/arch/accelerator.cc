@@ -376,6 +376,8 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
         // beat list, in the same per-bank order (see stream_soa.h).
         // With a StreamPlan the pre-packed lanes are replayed and the
         // beat-list traversal is skipped entirely.
+        // chason-lint: begin-hot (per-channel streaming loop: the
+        // simulator's steady-state replay path must not allocate)
         for (unsigned ch = 0; ch < sc.channels; ++ch) {
             const sched::ChannelWindowSchedule &cws = phase.channels[ch];
             if (plan) {
@@ -417,6 +419,7 @@ Accelerator::simulateStreaming(const sched::Schedule &schedule,
                            phase.alignedBeats - busy_beats);
             }
         }
+        // chason-lint: end-hot
         result.cycles.matrixStream += stream_cycles;
         sim_now += stream_cycles;
         result.cycles.pipelineFill += config_.timing.pipelineFillCycles;

@@ -171,12 +171,14 @@ macPackedChannel(const PackedChannel &packed, Peg &peg,
 
     // MAC pass, one PE at a time: dense multiply, then in-order
     // accumulation through the checked banks.
+    // chason-lint: begin-hot (runPlanned replay: the packed-lane MAC
+    // loop is the hottest code in the simulator)
     for (unsigned p = 0; p < pes; ++p) {
         const PackedLane &lane = packed.lanes[p];
         const std::size_t n = lane.value.size();
         if (n == 0)
             continue;
-        product.resize(n);
+        product.resize(n); // chason-lint: allow(CHL002) amortized scratch, capacity survives across calls
         mulGather(lane.value.data(), lane.winCol.data(), n, x.data(),
                   product.data());
 
@@ -201,6 +203,7 @@ macPackedChannel(const PackedChannel &packed, Peg &peg,
                 config.rawDistance);
         }
     }
+    // chason-lint: end-hot
 }
 
 void

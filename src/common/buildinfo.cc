@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Revision-stamp implementation.
+ */
+
+#include "common/buildinfo.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/thread_annotations.h"
+
+namespace chason {
+namespace common {
+
+namespace {
+
+/** First line of @p command's output, or "" on any failure. */
+std::string
+commandLine(const char *command)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE *p = popen(command, "r")) {
+        char buf[128] = {0};
+        const bool got = std::fgets(buf, sizeof(buf), p) != nullptr;
+        pclose(p);
+        if (got) {
+            buf[std::strcspn(buf, "\r\n")] = '\0';
+            return buf;
+        }
+    }
+#else
+    (void)command;
+#endif
+    return "";
+}
+
+std::string
+resolveRevision()
+{
+    // Explicit override first: CI pipelines that measure an exported
+    // tree (no .git) stamp the revision they checked out.
+    const std::string env = envString("CHASON_GIT_REV");
+    if (!env.empty())
+        return env;
+    std::string rev =
+        commandLine("git rev-parse --short HEAD 2>/dev/null");
+    if (!rev.empty()) {
+        // A dirty tree holds code that HEAD does not contain; an
+        // unmarked HEAD stamp would attribute the output to the wrong
+        // revision. Mark it rather than lie.
+        if (!commandLine(
+                 "git status --porcelain 2>/dev/null | head -n 1")
+                 .empty()) {
+            rev += "-dirty";
+        }
+        return rev;
+    }
+#ifdef CHASON_GIT_REV
+    return CHASON_GIT_REV; // configure-time fallback (no git at runtime)
+#else
+    return "unknown";
+#endif
+}
+
+// The cached stamp is process-global shared state: benches stamp from
+// worker threads, chason_lint stamps from its parallel tidy legs. The
+// capability annotation is what makes a lockless future access a
+// compile error instead of a rare double-popen.
+Mutex g_revision_mutex;
+bool g_revision_cached GUARDED_BY(g_revision_mutex) = false;
+std::string g_revision GUARDED_BY(g_revision_mutex);
+
+} // namespace
+
+std::string
+gitRevision()
+{
+    MutexLock lock(g_revision_mutex);
+    if (!g_revision_cached) {
+        g_revision = resolveRevision();
+        g_revision_cached = true;
+    }
+    return g_revision;
+}
+
+} // namespace common
+} // namespace chason

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Build/revision identity shared by every artifact-stamping producer.
+ *
+ * The BENCH_*.json perf reports (bench/perf_emit) and the SARIF
+ * documents (src/verify/sarif, tools/chason_lint) all record which
+ * revision produced them, so a committed baseline can be traced back
+ * to the code it measured. The resolution order and the dirty-tree
+ * marking live here once, instead of being re-implemented per tool.
+ */
+
+#ifndef CHASON_COMMON_BUILDINFO_H_
+#define CHASON_COMMON_BUILDINFO_H_
+
+#include <string>
+
+namespace chason {
+namespace common {
+
+/**
+ * Short git revision of the tree, resolved once per process and
+ * cached (the resolution shells out to git): the CHASON_GIT_REV env
+ * var when set, else `git rev-parse --short HEAD` with a "-dirty"
+ * suffix when the working tree has local changes, else the
+ * CHASON_GIT_REV compile definition, else "unknown". Thread-safe; the
+ * cache is guarded and the annotated-locking test of the perf_emit
+ * shared state.
+ */
+std::string gitRevision();
+
+} // namespace common
+} // namespace chason
+
+#endif // CHASON_COMMON_BUILDINFO_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Environment-variable gateway implementation.
+ */
+
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace chason {
+namespace common {
+
+namespace {
+
+/**
+ * The one std::getenv call in the tree. Sound because the process
+ * never mutates its environment (no setenv/putenv anywhere), so the
+ * returned pointer is stable; the value is copied out immediately
+ * regardless.
+ */
+const char *
+rawEnv(const char *name)
+{
+    return std::getenv(name); // NOLINT(concurrency-mt-unsafe)
+}
+
+} // namespace
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *value = rawEnv(name);
+    return value != nullptr ? std::string(value) : fallback;
+}
+
+bool
+envIsSet(const char *name)
+{
+    return rawEnv(name) != nullptr;
+}
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *value = rawEnv(name);
+    if (value == nullptr)
+        return fallback;
+    const long long parsed = std::strtoll(value, nullptr, 10);
+    return parsed > 0 ? static_cast<std::uint64_t>(parsed) : 0;
+}
+
+} // namespace common
+} // namespace chason

@@ -9,6 +9,9 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/env.h"
+#include "common/thread_annotations.h"
+
 #if defined(__linux__)
 #include <sys/mman.h>
 #endif
@@ -61,6 +64,16 @@ classOf(std::size_t bytes)
 enum class PoolState : unsigned char { kUninit, kLive, kDead };
 thread_local PoolState g_pool_state = PoolState::kUninit;
 
+/**
+ * Cross-thread pool registry: how many threads currently hold a live
+ * pool. Touched only in the Pool constructor/destructor (cold paths),
+ * so the lock never shows up in an alloc/free; it exists so the
+ * pool's one piece of shared state is capability-checked like every
+ * other concurrent subsystem.
+ */
+Mutex g_registry_mutex;
+std::size_t g_live_pools GUARDED_BY(g_registry_mutex) = 0;
+
 struct Pool
 {
     std::vector<void *> free[kMaxClass + 1];
@@ -72,18 +85,21 @@ struct Pool
 #if defined(CHASON_POOL_SANITIZED)
         cap = 0;
 #else
-        cap = kDefaultCapBytes;
-        if (const char *env = std::getenv("CHASON_POOL_MB"))
-            cap = static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
-                << 20;
+        cap = static_cast<std::size_t>(
+                  envUint("CHASON_POOL_MB", kDefaultCapBytes >> 20))
+            << 20;
 #endif
         g_pool_state = PoolState::kLive;
+        MutexLock lock(g_registry_mutex);
+        ++g_live_pools;
     }
 
     ~Pool()
     {
         trim();
         g_pool_state = PoolState::kDead;
+        MutexLock lock(g_registry_mutex);
+        --g_live_pools;
     }
 
     void
@@ -204,6 +220,13 @@ pagePoolTrim() noexcept
     if (g_pool_state != PoolState::kLive)
         return;
     pool().trim();
+}
+
+std::size_t
+pagePoolLivePools()
+{
+    MutexLock lock(g_registry_mutex);
+    return g_live_pools;
 }
 
 } // namespace common

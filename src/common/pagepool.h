@@ -42,6 +42,15 @@ std::size_t pagePoolHeldBytes() noexcept;
 /** Release every retained block of this thread back to the system. */
 void pagePoolTrim() noexcept;
 
+/**
+ * Threads whose pool is currently live (constructed, not yet torn
+ * down) — the pool's only cross-thread state, kept behind an annotated
+ * mutex. Everything else (freelists, the held-byte gauge, the
+ * dead-pool flag) is thread-local and needs no capability: a guard on
+ * state only one thread can reach would teach the analysis nothing.
+ */
+std::size_t pagePoolLivePools();
+
 } // namespace common
 } // namespace chason
 

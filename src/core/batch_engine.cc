@@ -31,7 +31,7 @@ BatchEngine::submit(BatchJob job)
 {
     std::size_t index;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         index = jobs_.size();
         jobs_.push_back(std::move(job));
         reports_.emplace_back();
@@ -45,7 +45,7 @@ BatchEngine::runJob(std::size_t index)
 {
     const BatchJob *job;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         // Deque elements are address-stable under push_back, so the
         // pointer stays valid while further jobs are submitted.
         job = &jobs_[index];
@@ -71,7 +71,7 @@ BatchEngine::runJob(std::size_t index)
     SpmvReport report =
         engine.runScheduled(*schedule, job->matrix, x, job->dataset);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     reports_[index] = std::move(report);
 }
 
@@ -80,7 +80,7 @@ BatchEngine::drain()
 {
     pool_.wait();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     BatchReport batch;
     batch.reports.assign(std::make_move_iterator(reports_.begin()),
                          std::make_move_iterator(reports_.end()));
@@ -135,7 +135,7 @@ BatchEngine::maybeVerify(
     if (!verifySchedules_)
         return;
     {
-        std::lock_guard<std::mutex> lock(verifiedMutex_);
+        common::MutexLock lock(verifiedMutex_);
         auto it = verified_.find(schedule.get());
         if (it != verified_.end()) {
             // Same live instance: already verified. An expired entry
@@ -157,7 +157,7 @@ BatchEngine::maybeVerify(
                      verify::toString(*result.firstError()).c_str());
     }
 
-    std::lock_guard<std::mutex> lock(verifiedMutex_);
+    common::MutexLock lock(verifiedMutex_);
     verified_.emplace(schedule.get(), schedule);
 }
 

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "core/schedule_cache.h"
 #include "core/thread_pool.h"
@@ -129,14 +130,14 @@ class BatchEngine
      * BatchReport::reports. Execution starts immediately on a free
      * worker.
      */
-    std::size_t submit(BatchJob job);
+    std::size_t submit(BatchJob job) EXCLUDES(mutex_);
 
     /**
      * Block until every submitted job has finished and return the
      * aggregated report. Jobs submitted after drain() begin a new
      * batch (indices restart at 0).
      */
-    BatchReport drain();
+    BatchReport drain() EXCLUDES(mutex_);
 
     /**
      * Run body(0) .. body(n-1) on the worker pool and block until all
@@ -175,7 +176,7 @@ class BatchEngine
                        const arch::ArchConfig &config = {});
 
   private:
-    void runJob(std::size_t index);
+    void runJob(std::size_t index) EXCLUDES(mutex_);
 
     /**
      * Statically verify @p schedule against @p a unless this cached
@@ -184,21 +185,25 @@ class BatchEngine
      */
     void maybeVerify(const std::shared_ptr<const sched::Schedule> &schedule,
                      const sparse::CsrMatrix &a,
-                     std::uint32_t capacityRowsPerLane);
+                     std::uint32_t capacityRowsPerLane)
+        EXCLUDES(verifiedMutex_);
 
     bool verifySchedules_;
     trace::TraceSink *traceSink_;
     ScheduleCache cache_;
-    std::mutex verifiedMutex_; ///< guards verified_
+    common::Mutex verifiedMutex_;
     // Schedules already verified, keyed by instance; weak_ptr detects
     // an evicted-and-reallocated address so it is re-verified.
     std::unordered_map<const sched::Schedule *,
                        std::weak_ptr<const sched::Schedule>>
-        verified_;
-    std::mutex mutex_; ///< guards jobs_ and reports_
+        verified_ GUARDED_BY(verifiedMutex_);
+    /** Guards the job queue and the report slots. Never held across a
+     *  job body or a pool call — queue-depth sampling, scheduling and
+     *  simulation all run lock-free with respect to this engine. */
+    common::Mutex mutex_;
     // Deques: submit() must not move elements a worker still reads.
-    std::deque<BatchJob> jobs_;
-    std::deque<SpmvReport> reports_;
+    std::deque<BatchJob> jobs_ GUARDED_BY(mutex_);
+    std::deque<SpmvReport> reports_ GUARDED_BY(mutex_);
     ThreadPool pool_; ///< last member: joins before state tears down
 };
 

@@ -146,30 +146,36 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
     trace::TraceSink *sink = trace::activeSink();
 
     std::promise<SchedulePtr> promise;
+    bool hit = false;
+    std::shared_future<SchedulePtr> hit_future;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             // Resident or in flight: either way the scheduling work is
             // amortized, so both count as hits.
             ++hits_;
             lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-            std::shared_future<SchedulePtr> future = it->second.future;
-            lock.unlock();
-            if (sink) {
-                sink->addCounter("schedule_cache.hits");
-                sink->recordInstant("cache_hit", trace::hostTrack(),
-                                    sink->nowUs());
-            }
-            return future.get();
+            hit = true;
+            hit_future = it->second.future;
+        } else {
+            ++misses_;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            lru_.push_front(key);
+            entry.lruIt = lru_.begin();
+            entries_.emplace(key, std::move(entry));
         }
-
-        ++misses_;
-        Entry entry;
-        entry.future = promise.get_future().share();
-        lru_.push_front(key);
-        entry.lruIt = lru_.begin();
-        entries_.emplace(key, std::move(entry));
+    }
+    if (hit) {
+        // Blocking on the future happens outside the critical section:
+        // an in-flight fill must not serialize unrelated lookups.
+        if (sink) {
+            sink->addCounter("schedule_cache.hits");
+            sink->recordInstant("cache_hit", trace::hostTrack(),
+                                sink->nowUs());
+        }
+        return hit_future.get();
     }
     if (sink) {
         sink->addCounter("schedule_cache.misses");
@@ -210,7 +216,7 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
     const std::size_t bytes = schedule->memoryBytes();
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         const auto it = entries_.find(key);
         // The filling thread owns the pending entry until this point:
         // neither clear() nor eviction touches a !ready entry, so the
@@ -244,7 +250,7 @@ ScheduleCache::get(const sched::Scheduler &scheduler,
                 *schedule, {key.matrix.lo, key.matrix.hi, key.scheduler},
                 artifact_path, &error)) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                common::MutexLock lock(mutex_);
                 ++persisted_;
             }
             if (sink) {
@@ -321,7 +327,7 @@ ScheduleCache::debugCheckConsistencyLocked() const
 bool
 ScheduleCache::debugCheckConsistency() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::size_t ready_bytes = 0;
     for (const auto &[key, entry] : entries_) {
         (void)key;
@@ -343,7 +349,7 @@ ScheduleCache::debugCheckConsistency() const
 ScheduleCacheStats
 ScheduleCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     ScheduleCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
@@ -361,7 +367,7 @@ ScheduleCache::stats() const
 void
 ScheduleCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->second.ready) {
             lru_.erase(it->second.lruIt);

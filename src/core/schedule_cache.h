@@ -27,10 +27,10 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 
 namespace chason {
@@ -130,7 +130,8 @@ class ScheduleCache
      * when another thread is already scheduling the same key.
      */
     std::shared_ptr<const sched::Schedule>
-    get(const sched::Scheduler &scheduler, const sparse::CsrMatrix &a);
+    get(const sched::Scheduler &scheduler, const sparse::CsrMatrix &a)
+        EXCLUDES(mutex_);
 
     /** Convenience overload: @p engine's scheduler fills misses. */
     std::shared_ptr<const sched::Schedule>
@@ -140,14 +141,14 @@ class ScheduleCache
     }
 
     /** Atomic snapshot of all counters. */
-    ScheduleCacheStats stats() const;
+    ScheduleCacheStats stats() const EXCLUDES(mutex_);
 
     /**
      * Drop every resident memory-tier entry (counters are kept). The
      * disk tier is untouched: a subsequent get() of a dropped key is a
      * memory miss that the artifact store serves as a disk hit.
      */
-    void clear();
+    void clear() EXCLUDES(mutex_);
 
     /**
      * Byte-accounting consistency check for tests: residentBytes_
@@ -155,7 +156,7 @@ class ScheduleCache
      * map agree. Debug builds additionally run this (fatally) after
      * every mutation.
      */
-    bool debugCheckConsistency() const;
+    bool debugCheckConsistency() const EXCLUDES(mutex_);
 
   private:
     struct KeyHash
@@ -180,10 +181,10 @@ class ScheduleCache
     };
 
     /** Evict ready LRU entries until the budget holds. Lock held. */
-    void enforceBudgetLocked();
+    void enforceBudgetLocked() REQUIRES(mutex_);
 
     /** Fatal consistency check after mutations; no-op in NDEBUG. */
-    void debugCheckConsistencyLocked() const;
+    void debugCheckConsistencyLocked() const REQUIRES(mutex_);
 
     /**
      * Disk-tier probe for @p key: admission-check and zero-copy-load
@@ -194,21 +195,32 @@ class ScheduleCache
      */
     SchedulePtr loadFromDisk(const ScheduleKey &key,
                              const std::string &path,
-                             bool &rejected) const;
+                             bool &rejected) const EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::size_t budgetBytes_;
-    std::size_t residentBytes_ = 0;
-    std::list<ScheduleKey> lru_; // front = most recently used
-    std::unordered_map<ScheduleKey, Entry, KeyHash> entries_;
-    std::string artifactDir_; ///< disk-tier root; empty = memory only
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
-    std::uint64_t diskHits_ = 0;
-    std::uint64_t diskMisses_ = 0;
-    std::uint64_t persisted_ = 0;
-    std::uint64_t corrupt_ = 0;
+    // enforceBudgetLocked() bumps TraceSink counters with mutex_ held,
+    // which fixes the lock order: ScheduleCache::mutex_ before
+    // TraceSink::mutex_ (docs/STATIC_ANALYSIS.md has the full table).
+    mutable common::Mutex mutex_;
+    std::size_t budgetBytes_ GUARDED_BY(mutex_);
+    std::size_t residentBytes_ GUARDED_BY(mutex_) = 0;
+    /** Memory tier, front = most recently used. */
+    std::list<ScheduleKey> lru_ GUARDED_BY(mutex_);
+    /** Memory tier + miss-coalescing map: a !ready entry is the
+     *  in-flight future concurrent misses on the same key block on. */
+    std::unordered_map<ScheduleKey, Entry, KeyHash>
+        entries_ GUARDED_BY(mutex_);
+    /** Disk-tier root; empty = memory only. Deliberately unguarded:
+     *  configured once before the cache is shared (see setArtifactDir)
+     *  and read-only afterwards. */
+    std::string artifactDir_;
+    std::uint64_t hits_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t diskHits_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t diskMisses_ GUARDED_BY(mutex_) = 0;
+    /** Artifact write-behind counter (bumped after waiters unblock). */
+    std::uint64_t persisted_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t corrupt_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace core

@@ -28,15 +28,15 @@
 #define CHASON_CORE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace chason {
 namespace core {
@@ -75,10 +75,10 @@ class ThreadPool
     }
 
     /** Enqueue one task for execution on some worker. */
-    void post(std::function<void()> task);
+    void post(std::function<void()> task) EXCLUDES(mutex_);
 
     /** Block until every task posted so far has finished. */
-    void wait();
+    void wait() EXCLUDES(mutex_);
 
     /**
      * Run body(0) .. body(n-1) on the pool and block until all have
@@ -163,13 +163,13 @@ class ThreadPool
         unsigned index = 0;
     };
 
-    void workerLoop(unsigned index);
+    void workerLoop(unsigned index) EXCLUDES(mutex_);
 
     /** Pop/steal one runnable task from anywhere; nullptr if none. */
-    Task *findTask(unsigned self);
+    Task *findTask(unsigned self) EXCLUDES(mutex_);
 
     /** Execute @p task and retire the in-flight accounting. */
-    void runTask(Task *task);
+    void runTask(Task *task) EXCLUDES(mutex_);
 
     /** Enqueue, preferring the calling worker's own deque. */
     void enqueue(Task *task);
@@ -181,19 +181,22 @@ class ThreadPool
      */
     struct Latch
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        std::size_t remaining = 0;
+        explicit Latch(std::size_t chunks) : remaining(chunks) {}
+
+        common::Mutex mutex;
+        common::CondVar done;
+        std::size_t remaining GUARDED_BY(mutex);
     };
 
     void runChunked(std::size_t chunks,
-                    const std::function<void(std::size_t)> &chunk);
+                    const std::function<void(std::size_t)> &chunk)
+        EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;          ///< guards inbox_ + sleepers
-    std::condition_variable workReady_; ///< new task / stopping
-    std::condition_variable allDone_;   ///< inFlight_ reached zero
-    std::deque<Task *> inbox_;          ///< external posts, FIFO
-    std::uint64_t epoch_ = 0;           ///< enqueue counter (mutex_)
+    mutable common::Mutex mutex_;     ///< guards inbox_ + sleepers
+    common::CondVar workReady_;       ///< new task / stopping
+    common::CondVar allDone_;         ///< inFlight_ reached zero
+    std::deque<Task *> inbox_ GUARDED_BY(mutex_); ///< external FIFO
+    std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;  ///< enqueue counter
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     std::atomic<std::int64_t> pending_{0};  ///< queued, not yet claimed
     std::atomic<std::int64_t> inFlight_{0}; ///< queued + executing

@@ -437,6 +437,9 @@ ArtifactReader::open(const std::string &path, ArtifactError *error)
     mapping->bytes = mapping->fallback.size();
 #endif
 
+    // chason-lint: begin-mmap-region (everything below reads bytes the
+    // kernel may have mapped from a file another process can truncate
+    // or corrupt: every typed view must be re-checked before the cast)
     const std::byte *base = mapping->data;
     const std::uint64_t size = mapping->bytes;
 
@@ -573,6 +576,11 @@ ArtifactReader::open(const std::string &path, ArtifactError *error)
              "phase section checksum mismatch");
         return reader;
     }
+    // The section-table loop proved these bounds already; re-assert
+    // them at the cast site so the typed views can never outlive a
+    // refactor of the checks above.
+    chason_assert(phase_sec->offset + phase_sec->bytes <= size,
+                  "phase section bounds re-checked before typed view");
     const ArtifactPhase *phases =
         reinterpret_cast<const ArtifactPhase *>(base + phase_sec->offset);
     const std::uint64_t *counts = reinterpret_cast<const std::uint64_t *>(
@@ -633,16 +641,21 @@ ArtifactReader::open(const std::string &path, ArtifactError *error)
     reader.info_.sections.assign(entries, entries + 3);
     reader.phases_ = phases;
     reader.beatCounts_ = counts;
+    chason_assert(beat_sec->offset + beat_sec->bytes <= size,
+                  "beat section bounds re-checked before typed view");
     reader.payload_ =
         reinterpret_cast<const Beat *>(base + beat_sec->offset);
     reader.payloadChecksum_ = beat_sec->checksum;
     reader.mapping_ = std::move(mapping);
+    // chason-lint: end-mmap-region
     return reader;
 }
 
 bool
 ArtifactReader::payloadIntact(ArtifactError *error, unsigned jobs) const
 {
+    // chason-lint: begin-mmap-region (payload_ points into the mapped
+    // file; the hash sweep below walks all of it)
     chason_assert(ok(), "payloadIntact() on a failed reader");
     if (payloadVerdict_ == 0) {
         const std::byte *p =
@@ -698,6 +711,7 @@ ArtifactReader::payloadIntact(ArtifactError *error, unsigned jobs) const
         payloadVerdict_ =
             fold.finish() == payloadChecksum_ ? 1 : 2;
     }
+    // chason-lint: end-mmap-region
     if (payloadVerdict_ == 1)
         return true;
     return fail(error, ArtifactStatus::kBadChecksum,

@@ -44,11 +44,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <vector>
 
+#include "common/env.h"
 #include "core/thread_pool.h"
 #include "sched/pe_aware.h"
 #include "trace/trace.h"
@@ -526,11 +526,9 @@ resolveJobs(unsigned jobs)
     if (jobs != 0)
         return jobs;
     for (const char *name : {"CHASON_SCHED_JOBS", "CHASON_JOBS"}) {
-        if (const char *env = std::getenv(name)) {
-            const long v = std::strtol(env, nullptr, 10);
-            if (v > 0)
-                return static_cast<unsigned>(v);
-        }
+        const std::uint64_t v = common::envUint(name, 0);
+        if (v > 0)
+            return static_cast<unsigned>(v);
     }
     return core::ThreadPool::defaultWorkers();
 }

@@ -49,7 +49,7 @@ TraceSink::nowUs() const
 void
 TraceSink::recordSpan(SpanEvent event)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     spans_.push_back(std::move(event));
 }
 
@@ -57,14 +57,14 @@ void
 TraceSink::recordInstant(std::string name, std::uint32_t track,
                          double ts_us)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     instants_.push_back({std::move(name), track, ts_us});
 }
 
 void
 TraceSink::addCounter(const std::string &name, std::uint64_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     counters_[name] += delta;
 }
 
@@ -72,42 +72,42 @@ void
 TraceSink::sampleCounter(const std::string &name, double value)
 {
     const double ts = nowUs();
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     samples_.push_back({name, ts, value});
 }
 
 std::vector<SpanEvent>
 TraceSink::spans() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return spans_;
 }
 
 std::vector<InstantEvent>
 TraceSink::instants() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return instants_;
 }
 
 std::vector<CounterSample>
 TraceSink::samples() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return samples_;
 }
 
 std::map<std::string, std::uint64_t>
 TraceSink::counters() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return counters_;
 }
 
 std::map<std::string, std::uint64_t>
 TraceSink::categoryCycles() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::map<std::string, std::uint64_t> totals;
     for (unsigned c = 0;
          c < static_cast<unsigned>(Category::Host); ++c)
@@ -123,7 +123,7 @@ TraceSink::categoryCycles() const
 std::map<std::uint32_t, std::uint64_t>
 TraceSink::pegStreamCycles() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::map<std::uint32_t, std::uint64_t> totals;
     for (const SpanEvent &s : spans_) {
         if (s.device && s.cat == Category::MatrixStream)
@@ -135,7 +135,7 @@ TraceSink::pegStreamCycles() const
 bool
 TraceSink::empty() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return spans_.empty() && instants_.empty() && samples_.empty() &&
         counters_.empty();
 }

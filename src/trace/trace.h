@@ -35,9 +35,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 /** Compile-time gate; the build sets CHASON_TRACE_ENABLED=0 for
  *  -DCHASON_TRACE=OFF trees. Default: enabled. */
@@ -124,38 +125,49 @@ class TraceSink
     /** Microseconds since this sink was constructed (steady clock). */
     double nowUs() const;
 
-    void recordSpan(SpanEvent event);
-    void recordInstant(std::string name, std::uint32_t track, double ts_us);
+    void recordSpan(SpanEvent event) EXCLUDES(mutex_);
+    void recordInstant(std::string name, std::uint32_t track, double ts_us)
+        EXCLUDES(mutex_);
 
     /** Bump a named monotonic counter. */
-    void addCounter(const std::string &name, std::uint64_t delta = 1);
+    void addCounter(const std::string &name, std::uint64_t delta = 1)
+        EXCLUDES(mutex_);
 
     /** Record one time-stamped sample of a sampled counter. */
-    void sampleCounter(const std::string &name, double value);
+    void sampleCounter(const std::string &name, double value)
+        EXCLUDES(mutex_);
 
-    std::vector<SpanEvent> spans() const;
-    std::vector<InstantEvent> instants() const;
-    std::vector<CounterSample> samples() const;
-    std::map<std::string, std::uint64_t> counters() const;
+    std::vector<SpanEvent> spans() const EXCLUDES(mutex_);
+    std::vector<InstantEvent> instants() const EXCLUDES(mutex_);
+    std::vector<CounterSample> samples() const EXCLUDES(mutex_);
+    std::map<std::string, std::uint64_t> counters() const
+        EXCLUDES(mutex_);
 
     /** Total device-span cycles per category (Host excluded). */
-    std::map<std::string, std::uint64_t> categoryCycles() const;
+    std::map<std::string, std::uint64_t> categoryCycles() const
+        EXCLUDES(mutex_);
 
     /**
      * Per-track total of device MatrixStream span cycles, keyed by
      * track id — one entry per PEG that streamed.
      */
-    std::map<std::uint32_t, std::uint64_t> pegStreamCycles() const;
+    std::map<std::uint32_t, std::uint64_t> pegStreamCycles() const
+        EXCLUDES(mutex_);
 
-    bool empty() const;
+    bool empty() const EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
+    // The sink's lock is a leaf: record methods are called with
+    // ScheduleCache::mutex_ held (enforceBudgetLocked's eviction
+    // counters), so nothing here may call back into the cache.
+    mutable common::Mutex mutex_;
     std::chrono::steady_clock::time_point epoch_;
-    std::vector<SpanEvent> spans_;
-    std::vector<InstantEvent> instants_;
-    std::vector<CounterSample> samples_;
-    std::map<std::string, std::uint64_t> counters_;
+    /** The four event stores — the sink registry the exporters read. */
+    std::vector<SpanEvent> spans_ GUARDED_BY(mutex_);
+    std::vector<InstantEvent> instants_ GUARDED_BY(mutex_);
+    std::vector<CounterSample> samples_ GUARDED_BY(mutex_);
+    /** Monotonic counters, flushed into report JSON at export time. */
+    std::map<std::string, std::uint64_t> counters_ GUARDED_BY(mutex_);
 };
 
 #if CHASON_TRACE_ENABLED

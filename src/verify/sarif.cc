@@ -9,8 +9,10 @@
 
 #include "verify/sarif.h"
 
+#include <cstdint>
 #include <cstdio>
 
+#include "common/buildinfo.h"
 #include "verify/rules.h"
 
 namespace chason {
@@ -25,19 +27,6 @@ constexpr const char *kToolVersion = "1.0.0";
 constexpr const char *kInfoUri =
     "https://github.com/chason-sim/chason";
 
-/** Index of a rule ID within the catalog, or -1. */
-int
-ruleIndexOf(const std::string &id)
-{
-    std::size_t count = 0;
-    const RuleInfo *rules = ruleCatalog(&count);
-    for (std::size_t i = 0; i < count; ++i) {
-        if (id == rules[i].id)
-            return static_cast<int>(i);
-    }
-    return -1;
-}
-
 std::string
 uriEscape(const std::string &uri)
 {
@@ -50,6 +39,122 @@ uriEscape(const std::string &uri)
             out += c;
     }
     return out;
+}
+
+void
+appendQuoted(std::string &out, const std::string &text)
+{
+    out += '"';
+    out += jsonEscape(text);
+    out += '"';
+}
+
+/** One run object at the fixed "    " indent of the runs array. */
+void
+emitRun(std::string &out, const SarifRun &run)
+{
+    out += "    {\n";
+
+    // tool.driver with the embedded rule table.
+    out += "      \"tool\": {\n        \"driver\": {\n";
+    out += "          \"name\": ";
+    appendQuoted(out, run.toolName);
+    if (!run.toolVersion.empty()) {
+        out += ",\n          \"version\": ";
+        appendQuoted(out, run.toolVersion);
+    }
+    if (!run.semanticVersion.empty()) {
+        out += ",\n          \"semanticVersion\": ";
+        appendQuoted(out, run.semanticVersion);
+    }
+    if (!run.informationUri.empty()) {
+        out += ",\n          \"informationUri\": ";
+        appendQuoted(out, run.informationUri);
+    }
+    if (!run.revision.empty()) {
+        out += ",\n          \"properties\": {\"revision\": ";
+        appendQuoted(out, run.revision);
+        out += "}";
+    }
+    out += ",\n          \"rules\": [\n";
+    for (std::size_t i = 0; i < run.rules.size(); ++i) {
+        const SarifRule &r = run.rules[i];
+        out += "            {\n              \"id\": ";
+        appendQuoted(out, r.id);
+        out += ",\n              \"name\": ";
+        appendQuoted(out, r.name);
+        out += ",\n              \"shortDescription\": {\"text\": ";
+        appendQuoted(out, r.shortDescription);
+        out += "},\n              \"fullDescription\": {\"text\": ";
+        appendQuoted(out, r.fullDescription.empty() ? r.shortDescription
+                                                    : r.fullDescription);
+        out += "},\n              \"defaultConfiguration\": "
+               "{\"level\": ";
+        appendQuoted(out, r.level);
+        out += "}\n            }";
+        out += i + 1 < run.rules.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n        }\n      },\n";
+
+    // results.
+    if (run.results.empty()) {
+        out += "      \"results\": []\n    }";
+        return;
+    }
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+        const SarifFinding &f = run.results[i];
+        out += "        {\n          \"ruleId\": ";
+        appendQuoted(out, f.ruleId);
+        const int index = run.ruleIndexOf(f.ruleId);
+        if (index >= 0) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          ",\n          \"ruleIndex\": %d", index);
+            out += buf;
+        }
+        out += ",\n          \"level\": ";
+        appendQuoted(out, f.level);
+        out += ",\n          \"message\": {\"text\": ";
+        appendQuoted(out, f.message);
+        out += "},\n          \"locations\": [\n            {\n";
+        out += "              \"physicalLocation\": {\n";
+        out += "                \"artifactLocation\": {\"uri\": ";
+        appendQuoted(out, uriEscape(f.uri));
+        out += "}";
+        if (f.line > 0) {
+            char buf[96];
+            if (f.column > 0) {
+                std::snprintf(buf, sizeof(buf),
+                              ",\n                \"region\": "
+                              "{\"startLine\": %d, \"startColumn\": %d}",
+                              f.line, f.column);
+            } else {
+                std::snprintf(buf, sizeof(buf),
+                              ",\n                \"region\": "
+                              "{\"startLine\": %d}",
+                              f.line);
+            }
+            out += buf;
+        }
+        out += "\n              }";
+        if (!f.logicalName.empty()) {
+            out += ",\n              \"logicalLocations\": [\n";
+            out += "                {\"fullyQualifiedName\": ";
+            appendQuoted(out, f.logicalName);
+            out += "}\n              ]";
+        }
+        out += "\n            }\n          ]";
+        if (!f.fingerprint.empty()) {
+            out += ",\n          \"partialFingerprints\": "
+                   "{\"chasonLint/v1\": ";
+            appendQuoted(out, f.fingerprint);
+            out += "}";
+        }
+        out += "\n        }";
+        out += i + 1 < run.results.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n    }";
 }
 
 } // namespace
@@ -89,6 +194,52 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+int
+SarifRun::addRule(const SarifRule &rule)
+{
+    const int existing = ruleIndexOf(rule.id);
+    if (existing >= 0)
+        return existing;
+    rules.push_back(rule);
+    return static_cast<int>(rules.size()) - 1;
+}
+
+int
+SarifRun::ruleIndexOf(const std::string &ruleId) const
+{
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (rules[i].id == ruleId)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::size_t
+SarifDocument::resultCount() const
+{
+    std::size_t n = 0;
+    for (const SarifRun &run : runs_)
+        n += run.results.size();
+    return n;
+}
+
+std::string
+SarifDocument::toJson() const
+{
+    std::string out;
+    out.reserve(4096 + resultCount() * 256);
+    out += "{\n";
+    out += "  \"$schema\": \"";
+    out += kSchemaUri;
+    out += "\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        emitRun(out, runs_[i]);
+        out += i + 1 < runs_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
 void
 SarifLog::addResult(const VerifyResult &result,
                     const std::string &artifactUri)
@@ -97,85 +248,82 @@ SarifLog::addResult(const VerifyResult &result,
         results_.push_back({d, artifactUri});
 }
 
-std::string
-SarifLog::toJson() const
+SarifRun
+SarifLog::toRun() const
 {
-    std::string out;
-    out.reserve(4096 + results_.size() * 256);
-    out += "{\n";
-    out += "  \"$schema\": \"";
-    out += kSchemaUri;
-    out += "\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n";
+    SarifRun run;
+    run.toolName = kToolName;
+    run.toolVersion = kToolVersion;
+    run.semanticVersion = kToolVersion;
+    run.informationUri = kInfoUri;
+    // The emitting revision: lets a stored document answer "which tree
+    // produced these findings" (same stamp the BENCH reports carry).
+    run.revision = common::gitRevision();
 
-    // tool.driver with the embedded rule catalog.
-    out += "      \"tool\": {\n        \"driver\": {\n";
-    out += "          \"name\": \"";
-    out += kToolName;
-    out += "\",\n          \"version\": \"";
-    out += kToolVersion;
-    out += "\",\n          \"informationUri\": \"";
-    out += kInfoUri;
-    out += "\",\n          \"rules\": [\n";
     std::size_t rule_count = 0;
     const RuleInfo *rules = ruleCatalog(&rule_count);
     for (std::size_t i = 0; i < rule_count; ++i) {
         const RuleInfo &r = rules[i];
-        out += "            {\n              \"id\": \"";
-        out += r.id;
-        out += "\",\n              \"name\": \"";
-        out += r.name;
-        out += "\",\n              \"shortDescription\": {\"text\": \"";
-        out += jsonEscape(r.summary);
-        out += "\"},\n              \"fullDescription\": {\"text\": \"";
-        out += jsonEscape(std::string(r.summary) + " Models: " +
-                          r.paperRef + ".");
-        out += "\"},\n              \"defaultConfiguration\": "
-               "{\"level\": \"";
-        out += severityName(r.defaultSeverity);
-        out += "\"}\n            }";
-        out += i + 1 < rule_count ? ",\n" : "\n";
+        SarifRule rule;
+        rule.id = r.id;
+        rule.name = r.name;
+        rule.shortDescription = r.summary;
+        rule.fullDescription =
+            std::string(r.summary) + " Models: " + r.paperRef + ".";
+        rule.level = severityName(r.defaultSeverity);
+        run.addRule(rule);
     }
-    out += "          ]\n        }\n      },\n";
 
-    // results.
-    if (results_.empty()) {
-        out += "      \"results\": []\n    }\n  ]\n}\n";
-        return out;
+    for (const Entry &e : results_) {
+        SarifFinding f;
+        f.ruleId = e.diagnostic.ruleId;
+        f.level = severityName(e.diagnostic.severity);
+        f.message = e.diagnostic.message;
+        f.uri = e.artifactUri;
+        f.logicalName = e.diagnostic.loc.qualifiedName();
+        run.results.push_back(std::move(f));
     }
-    out += "      \"results\": [\n";
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        const Entry &e = results_[i];
-        out += "        {\n          \"ruleId\": \"";
-        out += e.diagnostic.ruleId;
-        const int index = ruleIndexOf(e.diagnostic.ruleId);
-        if (index >= 0) {
-            char buf[48];
-            std::snprintf(buf, sizeof(buf),
-                          "\",\n          \"ruleIndex\": %d", index);
-            out += buf;
-        } else {
-            out += '"';
-        }
-        out += ",\n          \"level\": \"";
-        out += severityName(e.diagnostic.severity);
-        out += "\",\n          \"message\": {\"text\": \"";
-        out += jsonEscape(e.diagnostic.message);
-        out += "\"},\n          \"locations\": [\n            {\n";
-        out += "              \"physicalLocation\": {\n";
-        out += "                \"artifactLocation\": {\"uri\": \"";
-        out += jsonEscape(uriEscape(e.artifactUri));
-        out += "\"}\n              }";
-        const std::string logical = e.diagnostic.loc.qualifiedName();
-        if (!logical.empty()) {
-            out += ",\n              \"logicalLocations\": [\n";
-            out += "                {\"fullyQualifiedName\": \"";
-            out += jsonEscape(logical);
-            out += "\"}\n              ]";
-        }
-        out += "\n            }\n          ]\n        }";
-        out += i + 1 < results_.size() ? ",\n" : "\n";
+    return run;
+}
+
+std::string
+SarifLog::toJson() const
+{
+    SarifDocument doc;
+    doc.addRun(toRun());
+    return doc.toJson();
+}
+
+std::string
+lintFingerprint(const std::string &ruleId, const std::string &uri,
+                const std::string &message)
+{
+    const std::string key = ruleId + "|" + uri + "|" + message;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
     }
-    out += "      ]\n    }\n  ]\n}\n";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::vector<std::string>
+sarifFingerprints(const std::string &sarifJson)
+{
+    std::vector<std::string> out;
+    const std::string needle = "\"chasonLint/v1\": \"";
+    std::size_t pos = 0;
+    while ((pos = sarifJson.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        const std::size_t end = sarifJson.find('"', pos);
+        if (end == std::string::npos)
+            break;
+        out.push_back(sarifJson.substr(pos, end - pos));
+        pos = end + 1;
+    }
     return out;
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# ctest driver for the chason_lint invariant leg.
+#
+#   check_invariants.sh <chason_lint binary> <repo root>
+#
+# Two assertions:
+#  1. The deliberately broken fixture (unbalanced span, hot-loop
+#     allocation, unchecked mmap cast) makes the tool exit nonzero and
+#     the SARIF it writes names CHL001, CHL002 and CHL003.
+#  2. The clean tree itself passes against the committed baseline —
+#     the gate run_all.sh relies on.
+set -u
+
+LINT="$1"
+ROOT="$2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+FIXTURE="$ROOT/tests/lint/fixtures/bad_invariants.cc"
+
+# --- broken fixture must fail and report every seeded rule ----------
+"$LINT" --check-invariants --root "$ROOT" \
+        --baseline "$ROOT/lint_baseline.sarif" \
+        --sarif "$TMP/fixture.sarif" "$FIXTURE" > "$TMP/fixture.log"
+status=$?
+if [ "$status" -eq 0 ]; then
+    echo "FAIL: broken fixture exited 0"
+    cat "$TMP/fixture.log"
+    exit 1
+fi
+for rule in CHL001 CHL002 CHL003; do
+    if ! grep -q "\"ruleId\": \"$rule\"" "$TMP/fixture.sarif"; then
+        echo "FAIL: $rule missing from fixture SARIF"
+        cat "$TMP/fixture.sarif"
+        exit 1
+    fi
+done
+
+# --- clean tree must pass against the committed baseline ------------
+if ! "$LINT" --check-invariants --root "$ROOT" \
+        --baseline "$ROOT/lint_baseline.sarif" \
+        --sarif "$TMP/tree.sarif" > "$TMP/tree.log"; then
+    echo "FAIL: clean tree has findings beyond the baseline"
+    cat "$TMP/tree.log"
+    exit 1
+fi
+
+# The emitted document must be valid JSON when python3 is available.
+if command -v python3 > /dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            "$TMP/tree.sarif"; then
+        echo "FAIL: emitted SARIF is not valid JSON"
+        exit 1
+    fi
+fi
+
+echo "PASS: fixture rejected (exit $status), clean tree accepted"
+exit 0

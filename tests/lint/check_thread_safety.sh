@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ctest driver for the thread-safety annotation fixtures.
+#
+#   check_thread_safety.sh <repo root>
+#
+# Compiles the three fixtures with clang++ -Wthread-safety
+# -Werror=thread-safety-analysis:
+#  - ts_clean.cc must compile (the annotations accept correct locking);
+#  - ts_missing_lock_cache.cc and ts_missing_lock_steal.cc must FAIL —
+#    they are the ScheduleCache-lookup and ThreadPool-steal shapes with
+#    one lock acquisition removed, so a passing compile would mean the
+#    analysis (or the annotations) stopped working.
+#
+# Exits 77 (ctest SKIP_RETURN_CODE) when clang++ is not available: GCC
+# has no -Wthread-safety, so there is nothing to check.
+set -u
+
+ROOT="$1"
+FIX="$ROOT/tests/lint/fixtures"
+
+if ! command -v clang++ > /dev/null 2>&1; then
+    echo "SKIP: clang++ not in PATH (no thread-safety analysis)"
+    exit 77
+fi
+
+CXX_FLAGS="-std=c++20 -fsyntax-only -I$ROOT/src \
+           -Wthread-safety -Werror=thread-safety-analysis"
+
+if ! clang++ $CXX_FLAGS "$FIX/ts_clean.cc"; then
+    echo "FAIL: ts_clean.cc should compile under -Wthread-safety"
+    exit 1
+fi
+
+for bad in ts_missing_lock_cache ts_missing_lock_steal; do
+    if clang++ $CXX_FLAGS "$FIX/$bad.cc" 2> /dev/null; then
+        echo "FAIL: $bad.cc compiled — the missing lock went undetected"
+        exit 1
+    fi
+done
+
+echo "PASS: clean fixture accepted, both missing-lock fixtures rejected"
+exit 0

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Deliberately broken fixture for chason_lint --check-invariants.
+ * Never compiled (and excluded from clean-tree lint runs); each
+ * function below violates exactly one CHL rule, and
+ * tests/lint/check_invariants.sh asserts the tool reports all of them
+ * with a nonzero exit.
+ */
+
+#include <vector>
+
+namespace chason {
+
+void
+unbalancedSpan()
+{
+    // CHL001: statement-shaped temporary — the span ends immediately.
+    trace::HostSpan("schedule_phase");
+}
+
+void
+hotLoopAllocation(std::vector<int> &out)
+{
+    // chason-lint: begin-hot (fixture hot region)
+    for (int i = 0; i < 16; ++i)
+        out.push_back(i); // CHL002: growth inside the hot region
+    // chason-lint: end-hot
+}
+
+const int *
+uncheckedMmapView(const unsigned char *base)
+{
+    // chason-lint: begin-mmap-region (fixture mapped bytes)
+    // CHL003: no chason_assert precedes the typed view.
+    return reinterpret_cast<const int *>(base);
+    // chason-lint: end-mmap-region
+}
+
+} // namespace chason

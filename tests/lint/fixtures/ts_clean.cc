@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Positive thread-safety fixture: the same cache-lookup and
+ * deque-steal shapes as the two ts_missing_lock_*.cc negatives, but
+ * with every guarded access under its MutexLock. Must compile clean
+ * under clang++ -Wthread-safety -Werror=thread-safety-analysis;
+ * tests/lint/check_thread_safety.sh asserts it (and skips on
+ * GCC-only toolchains, which lack the analysis).
+ */
+
+#include <deque>
+#include <map>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct MiniCache
+{
+    int get(int key) EXCLUDES(mutex_)
+    {
+        chason::common::MutexLock lock(mutex_);
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? -1 : it->second;
+    }
+
+    void put(int key, int value) EXCLUDES(mutex_)
+    {
+        chason::common::MutexLock lock(mutex_);
+        entries_[key] = value;
+    }
+
+    mutable chason::common::Mutex mutex_;
+    std::map<int, int> entries_ GUARDED_BY(mutex_);
+};
+
+struct MiniPool
+{
+    int steal() EXCLUDES(mutex_)
+    {
+        chason::common::MutexLock lock(mutex_);
+        if (inbox_.empty())
+            return -1;
+        const int task = inbox_.front();
+        inbox_.pop_front();
+        return task;
+    }
+
+    void post(int task) EXCLUDES(mutex_)
+    {
+        chason::common::MutexLock lock(mutex_);
+        inbox_.push_back(task);
+    }
+
+    mutable chason::common::Mutex mutex_;
+    std::deque<int> inbox_ GUARDED_BY(mutex_);
+};
+
+} // namespace
+
+int
+main()
+{
+    MiniCache cache;
+    cache.put(1, 2);
+    MiniPool pool;
+    pool.post(7);
+    return cache.get(1) == 2 && pool.steal() == 7 ? 0 : 1;
+}

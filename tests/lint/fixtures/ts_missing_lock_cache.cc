@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Negative thread-safety fixture: the ScheduleCache-lookup shape with
+ * the lock acquisition removed — get() reads the GUARDED_BY map with
+ * no MutexLock. This file must FAIL to compile under clang++
+ * -Wthread-safety -Werror=thread-safety-analysis; the failure is the
+ * assertion of tests/lint/check_thread_safety.sh (a toolchain where
+ * this compiles has lost the analysis, and the annotations in
+ * src/core/schedule_cache.h would be decoration).
+ */
+
+#include <map>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct MiniCache
+{
+    int get(int key) EXCLUDES(mutex_)
+    {
+        // Deliberately missing: chason::common::MutexLock lock(mutex_);
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? -1 : it->second;
+    }
+
+    mutable chason::common::Mutex mutex_;
+    std::map<int, int> entries_ GUARDED_BY(mutex_);
+};
+
+} // namespace
+
+int
+main()
+{
+    MiniCache cache;
+    return cache.get(1);
+}

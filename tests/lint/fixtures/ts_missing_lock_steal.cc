@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Negative thread-safety fixture: the ThreadPool inbox-steal shape
+ * with the lock acquisition removed — steal() pops the GUARDED_BY
+ * deque with no MutexLock. Must FAIL to compile under clang++
+ * -Wthread-safety -Werror=thread-safety-analysis; asserted by
+ * tests/lint/check_thread_safety.sh.
+ */
+
+#include <deque>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct MiniPool
+{
+    int steal() EXCLUDES(mutex_)
+    {
+        // Deliberately missing: chason::common::MutexLock lock(mutex_);
+        if (inbox_.empty())
+            return -1;
+        const int task = inbox_.front();
+        inbox_.pop_front();
+        return task;
+    }
+
+    mutable chason::common::Mutex mutex_;
+    std::deque<int> inbox_ GUARDED_BY(mutex_);
+};
+
+} // namespace
+
+int
+main()
+{
+    MiniPool pool;
+    return pool.steal();
+}

@@ -42,7 +42,19 @@
 #include <string>
 #include <vector>
 
+#include "tool_flags.h"
+
 namespace {
+
+constexpr const char *kHelpEpilogue =
+    "\nexit status:\n"
+    "  0  every gated tier is within its band (or soft mode absorbed\n"
+    "     a timing miss)\n"
+    "  1  a tier fell below --min-ratio or --min-abs (hard mode only)\n"
+    "  2  usage error: unknown flag, missing/unreadable report, or\n"
+    "     --tier names a tier the baseline does not have\n"
+    "  3  tier-set mismatch: a tier present in exactly one of the two\n"
+    "     reports. Structural, so it fails even in soft mode.\n";
 
 struct TierReading
 {
@@ -125,29 +137,36 @@ main(int argc, char **argv)
     double min_ratio = 0.9;
     double min_abs = 0.0;
     bool soft = builtSanitized();
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc)
-            current_path = argv[++i];
-        else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
-            baseline_path = argv[++i];
-        else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc)
-            min_ratio = std::strtod(argv[++i], nullptr);
-        else if (std::strcmp(argv[i], "--min-abs") == 0 && i + 1 < argc)
-            min_abs = std::strtod(argv[++i], nullptr);
-        else if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc)
-            only_tier = argv[++i];
-        else if (std::strcmp(argv[i], "--field") == 0 && i + 1 < argc)
-            field = argv[++i];
-        else if (std::strcmp(argv[i], "--soft") == 0)
-            soft = true;
-        else {
-            std::fprintf(stderr,
-                         "usage: chason_perf_gate --current A.json "
-                         "--baseline B.json [--min-ratio R] "
-                         "[--min-abs A] [--tier NAME] [--field KEY] "
-                         "[--soft]\n");
-            return 2;
-        }
+    using chason::tools::Flag;
+    const Flag flags[] = {
+        {"--current", Flag::Kind::kString, &current_path, "A.json",
+         "freshly emitted BENCH report to gate"},
+        {"--baseline", Flag::Kind::kString, &baseline_path, "B.json",
+         "committed baseline report to compare against"},
+        {"--min-ratio", Flag::Kind::kDouble, &min_ratio, "R",
+         "per-tier floor on current/baseline (default 0.9)"},
+        {"--min-abs", Flag::Kind::kDouble, &min_abs, "A",
+         "absolute per-tier floor in the report's own unit"},
+        {"--tier", Flag::Kind::kString, &only_tier, "NAME",
+         "gate only this tier"},
+        {"--field", Flag::Kind::kString, &field, "KEY",
+         "per-tier field to compare (default throughput_per_s)"},
+        {"--soft", Flag::Kind::kBool, &soft, nullptr,
+         "report timing misses but exit 0 (implied under ASan/TSan)"},
+    };
+    const auto parse = chason::tools::parseFlags(
+        argc, argv, flags, std::size(flags));
+    if (parse.help) {
+        chason::tools::printFlagHelp(stdout, "chason_perf_gate", flags,
+                                     std::size(flags), kHelpEpilogue);
+        return 0;
+    }
+    if (parse.error != nullptr || !parse.positional.empty()) {
+        std::fprintf(stderr, "perf-gate: bad argument '%s' "
+                     "(--help for usage)\n",
+                     parse.error != nullptr ? parse.error
+                                            : parse.positional.front());
+        return 2;
     }
     if (current_path == nullptr || baseline_path == nullptr) {
         std::fprintf(stderr, "perf-gate: --current and --baseline are "

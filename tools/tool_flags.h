@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shared command-line flag parsing for the chason_* tools.
+ *
+ * Every tool parses the same way: a flat list of `--flag [VALUE]`
+ * options, unknown flags are a usage error, and `--help`/`-h` prints a
+ * generated usage block plus a tool-specific epilogue (where the tools
+ * document their exit codes). The table-driven parser here replaces
+ * the per-tool strcmp ladders so a new flag is one added row, and so
+ * help output stays consistent across tools. Header-only on purpose:
+ * chason_perf_gate deliberately links no chason library.
+ */
+
+#ifndef CHASON_TOOLS_TOOL_FLAGS_H_
+#define CHASON_TOOLS_TOOL_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace chason {
+namespace tools {
+
+/** One recognized option. `out` is typed by `kind`. */
+struct Flag
+{
+    enum class Kind
+    {
+        kString, ///< out is const char **
+        kDouble, ///< out is double *
+        kUint,   ///< out is unsigned *
+        kBool    ///< out is bool *; the flag takes no value
+    };
+
+    const char *name;      ///< including dashes, e.g. "--min-ratio"
+    Kind kind;
+    void *out;
+    const char *valueName; ///< metavar for help; ignored for kBool
+    const char *help;      ///< one-line description
+};
+
+/** Generated usage text: one line per flag, plus @p epilogue. */
+inline void
+printFlagHelp(std::FILE *f, const char *tool, const Flag *flags,
+              std::size_t count, const char *epilogue)
+{
+    std::fprintf(f, "usage: %s [flags]", tool);
+    std::fprintf(f, "\n\nflags:\n");
+    for (std::size_t i = 0; i < count; ++i) {
+        char head[64];
+        if (flags[i].kind == Flag::Kind::kBool)
+            std::snprintf(head, sizeof(head), "%s", flags[i].name);
+        else
+            std::snprintf(head, sizeof(head), "%s %s", flags[i].name,
+                          flags[i].valueName);
+        std::fprintf(f, "  %-24s %s\n", head, flags[i].help);
+    }
+    std::fprintf(f, "  %-24s %s\n", "--help", "print this help");
+    if (epilogue != nullptr)
+        std::fprintf(f, "%s", epilogue);
+}
+
+/**
+ * Result of parseFlags. `help` means --help/-h was seen (the caller
+ * should print help and exit 0); `error` names the offending token
+ * (print usage and exit 2). `positional` collects non-flag arguments
+ * in order.
+ */
+struct FlagParse
+{
+    bool help = false;
+    const char *error = nullptr;
+    std::vector<const char *> positional;
+
+    bool ok() const { return !help && error == nullptr; }
+};
+
+/** Parse argv against the flag table. Values bind left to right. */
+inline FlagParse
+parseFlags(int argc, char **argv, const Flag *flags, std::size_t count)
+{
+    FlagParse result;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            result.help = true;
+            return result;
+        }
+        if (arg[0] != '-') {
+            result.positional.push_back(arg);
+            continue;
+        }
+        const Flag *match = nullptr;
+        for (std::size_t j = 0; j < count; ++j) {
+            if (std::strcmp(arg, flags[j].name) == 0) {
+                match = &flags[j];
+                break;
+            }
+        }
+        if (match == nullptr) {
+            result.error = arg;
+            return result;
+        }
+        if (match->kind == Flag::Kind::kBool) {
+            *static_cast<bool *>(match->out) = true;
+            continue;
+        }
+        if (i + 1 >= argc) {
+            result.error = arg; // flag at end of line with no value
+            return result;
+        }
+        const char *value = argv[++i];
+        switch (match->kind) {
+        case Flag::Kind::kString:
+            *static_cast<const char **>(match->out) = value;
+            break;
+        case Flag::Kind::kDouble:
+            *static_cast<double *>(match->out) =
+                std::strtod(value, nullptr);
+            break;
+        case Flag::Kind::kUint: {
+            const long v = std::strtol(value, nullptr, 10);
+            *static_cast<unsigned *>(match->out) =
+                v > 0 ? static_cast<unsigned>(v) : 0u;
+            break;
+        }
+        case Flag::Kind::kBool:
+            break; // unreachable
+        }
+    }
+    return result;
+}
+
+} // namespace tools
+} // namespace chason
+
+#endif // CHASON_TOOLS_TOOL_FLAGS_H_
