@@ -10,22 +10,26 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 # Concurrency tests again under ThreadSanitizer (batch engine, schedule
-# cache, work-stealing thread pool, RNG streams).
+# cache, work-stealing thread pool, RNG streams, the SummaryStats lazy
+# sort cache, and the serving daemon's full thread architecture).
 cmake -B build-tsan -G Ninja -DCHASON_TSAN=ON
 cmake --build build-tsan --target test_batch_engine test_schedule_cache \
-    test_artifact_cache test_rng test_thread_pool
+    test_artifact_cache test_rng test_thread_pool test_stats \
+    test_serve_daemon
 ctest --test-dir build-tsan \
-    -R 'test_(batch_engine|schedule_cache|artifact_cache|rng|thread_pool)' \
+    -R 'test_(batch_engine|schedule_cache|artifact_cache|rng|thread_pool|stats|serve_daemon)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
 # Memory-safety leg: the parsing/verification surface again under
-# ASan+UBSan (artifact readers, verifier, mutation injector, SARIF).
+# ASan+UBSan (artifact readers, verifier, mutation injector, SARIF,
+# and the serving protocol's JSON/request parsers — hostile-input
+# territory).
 cmake -B build-asan -G Ninja -DCHASON_ASAN=ON
 cmake --build build-asan --target \
     test_matrix_market test_schedule_io test_artifact test_verifier \
-    test_sarif test_differential
+    test_sarif test_sarif_merge test_differential test_serve_protocol
 ctest --test-dir build-asan \
-    -R 'test_(matrix_market|schedule_io|artifact$|verifier|sarif|differential)' \
+    -R 'test_(matrix_market|schedule_io|artifact$|verifier|sarif|differential|serve_protocol)' \
     --output-on-failure 2>&1 | tee -a test_output.txt
 
 # Static schedule verification gate: every bundled example schedule must
@@ -111,6 +115,72 @@ print(f"TRACE OK: {len(events)} events reconcile with "
       f"{breakdown['total']} cycles across {len(pegs)} PEG tracks")
 EOF
 fi
+
+# Serving gate (docs/SERVING.md): boot the daemon with a sustained-rate
+# QoS budget, replay 1000 zipf-weighted requests whose y-vector digests
+# the client checks bit-for-bit against local Engine::runScheduled, then
+# flood it from a second tenant that MUST get throttled without the
+# paced tenant losing a single request. The SIGUSR1 stats document is
+# schema-validated and SIGTERM must drain and exit 0.
+rm -rf serve_gate_artifacts serve_gate.sock serve_daemon.log
+build/tools/chason_serve --socket serve_gate.sock \
+    --rate 500 --burst 128 --artifact-dir serve_gate_artifacts \
+    > serve_daemon.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -S serve_gate.sock ] && break
+    sleep 0.1
+done
+if ! [ -S serve_gate.sock ]; then
+    echo "FAIL: chason_serve never created its socket" | tee -a test_output.txt
+    cat serve_daemon.log | tee -a test_output.txt
+    exit 1
+fi
+build/tools/chason_client --socket serve_gate.sock \
+    --requests 1000 --connections 4 --window 8 --pace-us 10000 \
+    --verify --flood 300 --expect-throttle 2>&1 | tee -a test_output.txt
+kill -USR1 "$SERVE_PID"
+sleep 0.5
+kill -TERM "$SERVE_PID"
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+if [ "$SERVE_EXIT" -ne 0 ]; then
+    echo "FAIL: chason_serve exited $SERVE_EXIT on SIGTERM" \
+        | tee -a test_output.txt
+    cat serve_daemon.log | tee -a test_output.txt
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' 2>&1 | tee -a test_output.txt
+import json
+docs = [json.loads(l) for l in open("serve_daemon.log") if l.strip()]
+assert docs[0].get("ready") is True, "missing ready line"
+stats = docs[-1]          # final SIGTERM document
+json.dumps(docs[-2])      # SIGUSR1 snapshot must have parsed too
+req = stats["requests"]
+assert req["served"] >= 1000, f"served {req['served']} < 1000"
+assert req["bad_request"] == 0, "daemon flagged bad requests"
+assert req["over_budget"] > 0, "flood phase never tripped QoS"
+lat = stats["latency_ms"]
+assert lat["count"] == req["served"], "latency samples != served"
+assert 0.0 <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], \
+    "latency percentiles are not monotone"
+cache = stats["cache"]
+for key in ("hits", "misses", "hit_rate", "disk_hits", "disk_misses",
+            "disk_hit_rate", "persisted", "corrupt", "entries"):
+    assert key in cache, f"cache stats missing {key}"
+assert cache["hits"] > 0, "zipf replay never hit the schedule cache"
+assert cache["corrupt"] == 0, "disk tier served corrupt artifacts"
+tenants = stats["tenants"]
+assert tenants["bench"]["served"] == 1000, "paced tenant lost requests"
+assert tenants["bench"]["rejected"] == 0, "paced tenant was throttled"
+assert tenants["flooder"]["rejected"] > 0, "flood tenant never rejected"
+print(f"SERVE GATE OK: {req['served']} served, "
+      f"p99 {lat['p99']:.3f} ms, "
+      f"{tenants['flooder']['rejected']} flood rejections")
+EOF
+fi
+rm -rf serve_gate_artifacts serve_gate.sock
 
 # Unified static-analysis gate (docs/STATIC_ANALYSIS.md): chason_lint
 # merges the repo-invariant scan, the clang-tidy sweep over the full

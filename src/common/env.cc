@@ -5,6 +5,7 @@
 
 #include "common/env.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace chason {
@@ -14,7 +15,8 @@ namespace {
 
 /**
  * The one std::getenv call in the tree. Sound because the process
- * never mutates its environment (no setenv/putenv anywhere), so the
+ * never mutates its environment (no setenv/putenv anywhere; the
+ * test_env binary setenv()s only while single-threaded), so the
  * returned pointer is stable; the value is copied out immediately
  * regardless.
  */
@@ -43,10 +45,20 @@ std::uint64_t
 envUint(const char *name, std::uint64_t fallback)
 {
     const char *value = rawEnv(name);
-    if (value == nullptr)
+    if (value == nullptr || *value == '\0')
         return fallback;
-    const long long parsed = std::strtoll(value, nullptr, 10);
-    return parsed > 0 ? static_cast<std::uint64_t>(parsed) : 0;
+    char *end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value, &end, 10);
+    // Any parse failure degrades to the documented fallback, never to
+    // an accidental 0 that silently disables the knob: no digits,
+    // trailing garbage past the number, out-of-range magnitudes
+    // (strtoll saturates and sets ERANGE), or a negative value.
+    if (end == value || *end != '\0')
+        return fallback;
+    if (errno == ERANGE || parsed < 0)
+        return fallback;
+    return static_cast<std::uint64_t>(parsed);
 }
 
 } // namespace common

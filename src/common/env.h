@@ -33,9 +33,13 @@ std::string envString(const char *name, const std::string &fallback = "");
 bool envIsSet(const char *name);
 
 /**
- * Numeric value of @p name, or @p fallback when unset. Parsed with
- * base-10 strtoll; garbage and negative values clamp to 0 — a broken
- * knob must degrade to "feature off", not to a huge accidental limit.
+ * Numeric value of @p name, or @p fallback on any failure to produce
+ * one. Parsed with base-10 strtoll; the whole value must be one
+ * non-negative integer (leading whitespace allowed, nothing after the
+ * digits). Unset, empty, garbage, trailing junk ("4x"), negative and
+ * out-of-range values all return @p fallback — a broken knob must
+ * degrade to the documented default, never to a silent 0 that turns
+ * the feature off (CHASON_JOBS=garbage used to disable parallelism).
  */
 std::uint64_t envUint(const char *name, std::uint64_t fallback);
 

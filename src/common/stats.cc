@@ -8,15 +8,51 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace chason {
 
+SummaryStats::SummaryStats(const SummaryStats &other)
+    : samples_(other.samples_)
+{
+}
+
+SummaryStats &
+SummaryStats::operator=(const SummaryStats &other)
+{
+    if (this != &other) {
+        samples_ = other.samples_;
+        common::MutexLock lock(sortMutex_);
+        sorted_.clear();
+        sortedValid_ = false;
+    }
+    return *this;
+}
+
+SummaryStats::SummaryStats(SummaryStats &&other) noexcept
+    : samples_(std::move(other.samples_))
+{
+}
+
+SummaryStats &
+SummaryStats::operator=(SummaryStats &&other) noexcept
+{
+    if (this != &other) {
+        samples_ = std::move(other.samples_);
+        common::MutexLock lock(sortMutex_);
+        sorted_.clear();
+        sortedValid_ = false;
+    }
+    return *this;
+}
+
 void
 SummaryStats::add(double sample)
 {
     samples_.push_back(sample);
+    common::MutexLock lock(sortMutex_);
     sortedValid_ = false;
 }
 
@@ -24,12 +60,18 @@ void
 SummaryStats::add(const std::vector<double> &samples)
 {
     samples_.insert(samples_.end(), samples.begin(), samples.end());
+    common::MutexLock lock(sortMutex_);
     sortedValid_ = false;
 }
 
 const std::vector<double> &
 SummaryStats::sorted() const
 {
+    // Concurrent const readers race only to *build* the cache: the
+    // first one under the lock sorts, the rest see the valid flag. A
+    // reference escaping the lock is safe because invalidation (add)
+    // is exclusive by contract.
+    common::MutexLock lock(sortMutex_);
     if (!sortedValid_) {
         sorted_ = samples_;
         std::sort(sorted_.begin(), sorted_.end());

@@ -13,15 +13,34 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace chason {
 
 /**
  * Accumulates samples and answers the usual descriptive questions.
  * Percentile queries sort a copy lazily; cheap at corpus scale.
+ *
+ * Thread safety: the const accessors (min/max/percentile/mean/...) may
+ * be called concurrently from any number of threads — the lazily
+ * sorted cache they share is guarded by an internal mutex, so a shared
+ * instance can feed several reporter threads (the serving daemon reads
+ * p50/p95/p99 this way). add() is a mutation and needs external
+ * synchronization against both other add()s and concurrent readers,
+ * like any container.
  */
 class SummaryStats
 {
   public:
+    SummaryStats() = default;
+
+    // The cache mutex is identity, not state: copies/moves transfer
+    // the samples and drop the cache (it re-sorts on first query).
+    SummaryStats(const SummaryStats &other);
+    SummaryStats &operator=(const SummaryStats &other);
+    SummaryStats(SummaryStats &&other) noexcept;
+    SummaryStats &operator=(SummaryStats &&other) noexcept;
+
     /** Add one sample. */
     void add(double sample);
 
@@ -52,10 +71,18 @@ class SummaryStats
 
   private:
     std::vector<double> samples_;
-    mutable std::vector<double> sorted_;
-    mutable bool sortedValid_ = false;
+    /** Guards the lazy sort; taken only inside sorted(). */
+    mutable common::Mutex sortMutex_;
+    mutable std::vector<double> sorted_ GUARDED_BY(sortMutex_);
+    mutable bool sortedValid_ GUARDED_BY(sortMutex_) = false;
 
-    const std::vector<double> &sorted() const;
+    /**
+     * The sorted view, built on first use after a mutation. Returning
+     * a reference after dropping the lock is sound under the class
+     * contract: only add() invalidates the cache, and add() may not
+     * run concurrently with readers.
+     */
+    const std::vector<double> &sorted() const EXCLUDES(sortMutex_);
 };
 
 /** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */

@@ -5,7 +5,9 @@
 
 #include "core/batch_engine.h"
 
+#include <algorithm>
 #include <optional>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -32,9 +34,8 @@ BatchEngine::submit(BatchJob job)
     std::size_t index;
     {
         common::MutexLock lock(mutex_);
-        index = jobs_.size();
-        jobs_.push_back(std::move(job));
-        reports_.emplace_back();
+        index = nextIndex_++;
+        slots_.emplace(index, Slot{std::move(job), {}, false});
     }
     pool_.post([this, index] { runJob(index); });
     return index;
@@ -46,9 +47,10 @@ BatchEngine::runJob(std::size_t index)
     const BatchJob *job;
     {
         common::MutexLock lock(mutex_);
-        // Deque elements are address-stable under push_back, so the
-        // pointer stays valid while further jobs are submitted.
-        job = &jobs_[index];
+        // Map nodes are address-stable, and a slot is only erased by
+        // collect()/drain() after done is set below — the pointer
+        // stays valid for the job's whole run.
+        job = &slots_.at(index).job;
     }
 
     // Activate the batch's sink on this worker for the job's duration:
@@ -68,11 +70,37 @@ BatchEngine::runJob(std::size_t index)
     const std::vector<float> x =
         sparse::randomVector(job->matrix.cols(), rng);
     const auto schedule = this->schedule(engine, job->matrix);
-    SpmvReport report =
-        engine.runScheduled(*schedule, job->matrix, x, job->dataset);
+    SpmvReport report = engine.runScheduled(
+        *schedule, job->matrix, x, job->dataset, job->yOut.get());
 
     common::MutexLock lock(mutex_);
-    reports_[index] = std::move(report);
+    Slot &slot = slots_.at(index);
+    slot.report = std::move(report);
+    slot.done = true;
+    done_.notify_all();
+}
+
+SpmvReport
+BatchEngine::collect(std::size_t index)
+{
+    common::MutexLock lock(mutex_);
+    // Re-find after every wait: the map may rehash or shed other
+    // slots while we sleep, and a concurrent collect of the same
+    // index (a caller bug) must trip the assert, not a stale
+    // iterator.
+    for (;;) {
+        auto it = slots_.find(index);
+        chason_assert(it != slots_.end(),
+                      "collect(%zu): unknown or already-collected job",
+                      index);
+        if (it->second.done)
+            break;
+        done_.wait(mutex_);
+    }
+    auto it = slots_.find(index);
+    SpmvReport report = std::move(it->second.report);
+    slots_.erase(it);
+    return report;
 }
 
 BatchReport
@@ -82,14 +110,28 @@ BatchEngine::drain()
 
     common::MutexLock lock(mutex_);
     BatchReport batch;
-    batch.reports.assign(std::make_move_iterator(reports_.begin()),
-                         std::make_move_iterator(reports_.end()));
+    // Remaining (uncollected) slots, in submission order.
+    std::vector<std::size_t> indices;
+    indices.reserve(slots_.size());
+    for (const auto &entry : slots_)
+        indices.push_back(entry.first);
+    std::sort(indices.begin(), indices.end());
+    batch.reports.reserve(indices.size());
+    for (const std::size_t index : indices)
+        batch.reports.push_back(std::move(slots_.at(index).report));
     batch.cache = cache_.stats();
     batch.jobs = batch.reports.size();
     batch.workers = pool_.workers();
-    jobs_.clear();
-    reports_.clear();
+    slots_.clear();
+    nextIndex_ = 0;
     return batch;
+}
+
+std::size_t
+BatchEngine::pendingJobs() const
+{
+    common::MutexLock lock(mutex_);
+    return slots_.size();
 }
 
 void

@@ -17,19 +17,23 @@
  * bit-identical reports for any worker count. tests/core/
  * test_batch_engine.cc asserts this.
  *
- * Thread safety: submit(), drain(), schedule(), run(), compare() and
- * parallelFor() may be called from any thread. The cache-backed
- * helpers (schedule/run/compare) are also safe from *inside* pool
- * tasks — parallelFor bodies use them to share schedules — but
- * drain()/parallelFor() themselves must only be called from outside
- * the pool (they block on it).
+ * Batch callers retire everything at once with drain(); streaming
+ * callers (the chason_serve daemon) retire per job with collect(),
+ * which frees the job's matrix and report immediately so steady-state
+ * memory is bounded by the in-flight window, not the submit count.
+ *
+ * Thread safety: submit(), collect(), drain(), schedule(), run(),
+ * compare() and parallelFor() may be called from any thread. The
+ * cache-backed helpers (schedule/run/compare) are also safe from
+ * *inside* pool tasks — parallelFor bodies use them to share
+ * schedules — but collect()/drain()/parallelFor() themselves must
+ * only be called from outside the pool (they block on it).
  */
 
 #ifndef CHASON_CORE_BATCH_ENGINE_H_
 #define CHASON_CORE_BATCH_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -92,6 +96,15 @@ struct BatchJob
 
     /** Seeds this job's dense input vector x (job-private stream). */
     std::uint64_t xSeed = 0x57EE9;
+
+    /**
+     * Optional result-vector sink: when set, the job's functional
+     * output y is written here. The caller keeps its own shared_ptr
+     * and must not read the vector until the job retires via
+     * collect()/drain() — the serving daemon uses this to digest y
+     * without the report having to carry the whole vector.
+     */
+    std::shared_ptr<std::vector<float>> yOut;
 };
 
 /** What drain() returns: per-job reports plus batch-level accounting. */
@@ -126,18 +139,35 @@ class BatchEngine
     ThreadPool &pool() { return pool_; }
 
     /**
-     * Enqueue @p job for execution; returns its index in
-     * BatchReport::reports. Execution starts immediately on a free
-     * worker.
+     * Enqueue @p job for execution; returns its index (also its
+     * position in BatchReport::reports when retired via drain()).
+     * Execution starts immediately on a free worker.
      */
     std::size_t submit(BatchJob job) EXCLUDES(mutex_);
 
     /**
+     * Streaming retirement: block until job @p index has finished,
+     * return its report, and release the job's slot — the submitted
+     * matrix and the report buffer are freed immediately, so a
+     * long-running caller (the serving daemon) stays at O(in-flight)
+     * memory instead of accumulating every job until drain().
+     * @p index must name a job submitted since the last drain() and
+     * not yet collected; anything else is fatal(). Safe from any
+     * thread outside the worker pool.
+     */
+    SpmvReport collect(std::size_t index) EXCLUDES(mutex_);
+
+    /**
      * Block until every submitted job has finished and return the
-     * aggregated report. Jobs submitted after drain() begin a new
-     * batch (indices restart at 0).
+     * aggregated report: one entry per *uncollected* job, in
+     * submission order (collect()ed jobs were already retired). Jobs
+     * submitted after drain() begin a new batch (indices restart
+     * at 0).
      */
     BatchReport drain() EXCLUDES(mutex_);
+
+    /** Jobs submitted but not yet retired by collect()/drain(). */
+    std::size_t pendingJobs() const EXCLUDES(mutex_);
 
     /**
      * Run body(0) .. body(n-1) on the worker pool and block until all
@@ -197,13 +227,25 @@ class BatchEngine
     std::unordered_map<const sched::Schedule *,
                        std::weak_ptr<const sched::Schedule>>
         verified_ GUARDED_BY(verifiedMutex_);
-    /** Guards the job queue and the report slots. Never held across a
-     *  job body or a pool call — queue-depth sampling, scheduling and
-     *  simulation all run lock-free with respect to this engine. */
-    common::Mutex mutex_;
-    // Deques: submit() must not move elements a worker still reads.
-    std::deque<BatchJob> jobs_ GUARDED_BY(mutex_);
-    std::deque<SpmvReport> reports_ GUARDED_BY(mutex_);
+    /** One in-flight job: input, result and completion flag. */
+    struct Slot
+    {
+        BatchJob job;
+        SpmvReport report;
+        bool done = false;
+    };
+
+    /** Guards the job slots. Never held across a job body or a pool
+     *  call — queue-depth sampling, scheduling and simulation all run
+     *  lock-free with respect to this engine. */
+    mutable common::Mutex mutex_;
+    /** Signaled by runJob() on completion; collect() waits here. */
+    common::CondVar done_;
+    /** Index assigned to the next submit; reset to 0 by drain(). */
+    std::size_t nextIndex_ GUARDED_BY(mutex_) = 0;
+    // Node-based map: slot references stay valid across submits and
+    // erases of other slots while a worker still reads its job.
+    std::unordered_map<std::size_t, Slot> slots_ GUARDED_BY(mutex_);
     ThreadPool pool_; ///< last member: joins before state tears down
 };
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Admission-control implementation.
+ */
+
+#include "serve/admission.h"
+
+namespace chason {
+namespace serve {
+
+Admission
+AdmissionControl::tryAdmit(const std::string &tenant, double nowSeconds)
+{
+    common::MutexLock lock(mutex_);
+    // Budget before queue: a flooding tenant must burn its own bucket,
+    // not learn anything about global queue pressure first.
+    if (options_.tokensPerSec > 0.0) {
+        auto it = buckets_.find(tenant);
+        if (it == buckets_.end())
+            it = buckets_
+                     .emplace(tenant,
+                              TokenBucket(options_.tokensPerSec,
+                                          options_.tokenBurst,
+                                          nowSeconds))
+                     .first;
+        if (!it->second.tryTake(nowSeconds))
+            return Admission::kOverBudget;
+    }
+    if (depth_ >= options_.queueCapacity)
+        return Admission::kQueueFull;
+    ++depth_;
+    if (depth_ > maxDepth_)
+        maxDepth_ = depth_;
+    return Admission::kAdmitted;
+}
+
+void
+AdmissionControl::release()
+{
+    common::MutexLock lock(mutex_);
+    if (depth_ > 0)
+        --depth_;
+}
+
+std::size_t
+AdmissionControl::depth() const
+{
+    common::MutexLock lock(mutex_);
+    return depth_;
+}
+
+std::size_t
+AdmissionControl::maxDepth() const
+{
+    common::MutexLock lock(mutex_);
+    return maxDepth_;
+}
+
+} // namespace serve
+} // namespace chason

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Admission control for the serving daemon: a bounded in-flight queue
+ * plus per-tenant token-bucket QoS.
+ *
+ * Both checks happen synchronously at request-parse time so the
+ * accept/read path never blocks on a full daemon: a request that does
+ * not fit is rejected immediately with a typed error
+ * (protocol.h kErrQueueFull / kErrOverBudget), and the connection
+ * stays usable. Time is passed in by the caller (seconds on a
+ * monotonic clock), which keeps the refill arithmetic deterministic
+ * and unit-testable.
+ */
+
+#ifndef CHASON_SERVE_ADMISSION_H_
+#define CHASON_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+
+namespace chason {
+namespace serve {
+
+/**
+ * Classic token bucket: refills at @p ratePerSec up to @p burst,
+ * tryTake() spends one token. Not thread-safe by itself —
+ * AdmissionControl serializes access.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket(double ratePerSec, double burst, double nowSeconds)
+        : rate_(ratePerSec), burst_(burst), tokens_(burst),
+          lastRefill_(nowSeconds)
+    {
+    }
+
+    /** Refill to @p nowSeconds, then spend one token if available. */
+    bool tryTake(double nowSeconds)
+    {
+        if (nowSeconds > lastRefill_) {
+            tokens_ += (nowSeconds - lastRefill_) * rate_;
+            if (tokens_ > burst_)
+                tokens_ = burst_;
+            lastRefill_ = nowSeconds;
+        }
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    double tokens() const { return tokens_; }
+
+  private:
+    double rate_;
+    double burst_;
+    double tokens_;
+    double lastRefill_;
+};
+
+/** Admission verdict, mapped 1:1 onto the protocol's typed errors. */
+enum class Admission
+{
+    kAdmitted,
+    kOverBudget, ///< the tenant's token bucket is empty
+    kQueueFull,  ///< the daemon-wide in-flight bound is reached
+};
+
+/** Bounded queue + per-tenant QoS, shared by every connection. */
+class AdmissionControl
+{
+  public:
+    struct Options
+    {
+        /** In-flight requests the daemon accepts at once. */
+        std::size_t queueCapacity = 64;
+
+        /** Per-tenant sustained tokens/sec; <= 0 disables QoS. */
+        double tokensPerSec = 0.0;
+
+        /** Per-tenant burst allowance (bucket capacity). */
+        double tokenBurst = 32.0;
+    };
+
+    explicit AdmissionControl(Options options) : options_(options) {}
+
+    /**
+     * Try to admit one request from @p tenant at @p nowSeconds. On
+     * kAdmitted the caller owns one queue slot and must release() it
+     * when the request retires (served or failed after admission).
+     */
+    Admission tryAdmit(const std::string &tenant, double nowSeconds)
+        EXCLUDES(mutex_);
+
+    /** Return an admitted request's queue slot. */
+    void release() EXCLUDES(mutex_);
+
+    /** Requests currently admitted and not yet released. */
+    std::size_t depth() const EXCLUDES(mutex_);
+
+    /** High-water mark of depth() since construction. */
+    std::size_t maxDepth() const EXCLUDES(mutex_);
+
+    const Options &options() const { return options_; }
+
+  private:
+    const Options options_;
+    mutable common::Mutex mutex_;
+    std::size_t depth_ GUARDED_BY(mutex_) = 0;
+    std::size_t maxDepth_ GUARDED_BY(mutex_) = 0;
+    /** One bucket per tenant, created on first sight. */
+    std::unordered_map<std::string, TokenBucket>
+        buckets_ GUARDED_BY(mutex_);
+};
+
+} // namespace serve
+} // namespace chason
+
+#endif // CHASON_SERVE_ADMISSION_H_

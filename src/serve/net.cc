@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unix-domain-socket helper implementation.
+ */
+
+#include "serve/net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace chason {
+namespace serve {
+
+int
+connectUnixSocket(const std::string &path, std::string *error)
+{
+    sockaddr_un address{};
+    if (path.size() >= sizeof(address.sun_path)) {
+        if (error != nullptr)
+            *error = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        if (error != nullptr)
+            *error = "connect(" + path + "): " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            return true;
+        }
+        if (eof_) {
+            if (buffer_.empty())
+                return false;
+            line = std::move(buffer_);
+            buffer_.clear();
+            return true;
+        }
+        if (buffer_.size() > maxLineBytes_)
+            return false;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace serve
+} // namespace chason

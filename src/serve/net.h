@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small Unix-domain-socket helpers shared by the daemon, the
+ * chason_client load generator and the serve tests.
+ *
+ * Everything is blocking; the protocol is newline-delimited, so the
+ * only framing needed is a buffered line reader. Sends use
+ * MSG_NOSIGNAL — a client that disappears mid-response must surface
+ * as an error return, not SIGPIPE.
+ */
+
+#ifndef CHASON_SERVE_NET_H_
+#define CHASON_SERVE_NET_H_
+
+#include <cstddef>
+#include <string>
+
+namespace chason {
+namespace serve {
+
+/**
+ * Connect to the Unix-domain stream socket at @p path. Returns the fd
+ * or -1 with a reason in @p error.
+ */
+int connectUnixSocket(const std::string &path, std::string *error);
+
+/** Send all of @p data; false on any send error. */
+bool sendAll(int fd, const std::string &data);
+
+/** Buffered blocking line reader over a socket fd. */
+class LineReader
+{
+  public:
+    /** Default bound on one line — beyond this the peer is cut off. */
+    static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+
+    explicit LineReader(int fd,
+                        std::size_t maxLineBytes = kDefaultMaxLineBytes)
+        : fd_(fd), maxLineBytes_(maxLineBytes)
+    {
+    }
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped) into
+     * @p line. Returns false on EOF with an empty remainder, on a
+     * read error, or when the peer sends more than maxLineBytes
+     * without a newline (a flooding client must not grow the buffer
+     * unboundedly); a non-empty final line without a terminator is
+     * returned first.
+     */
+    bool readLine(std::string &line);
+
+    /** Bytes buffered beyond the last returned line. */
+    std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    int fd_;
+    std::size_t maxLineBytes_;
+    std::string buffer_;
+    bool eof_ = false;
+};
+
+} // namespace serve
+} // namespace chason
+
+#endif // CHASON_SERVE_NET_H_

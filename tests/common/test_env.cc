@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the environment-variable gateway.
+ *
+ * envUint must return the documented fallback on *any* parse failure:
+ * a mistyped CHASON_JOBS=garbage once clamped to 0 and silently
+ * disabled parallelism instead of using the default. The setenv calls
+ * here are sound with respect to env.cc's getenv soundness note: the
+ * test body runs single-threaded.
+ */
+
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace chason {
+namespace common {
+namespace {
+
+constexpr const char *kVar = "CHASON_TEST_ENV_UINT";
+constexpr std::uint64_t kFallback = 42;
+
+std::uint64_t
+parsedAs(const char *value)
+{
+    ::setenv(kVar, value, 1);
+    const std::uint64_t result = envUint(kVar, kFallback);
+    ::unsetenv(kVar);
+    return result;
+}
+
+TEST(EnvUint, UnsetReturnsFallback)
+{
+    ::unsetenv(kVar);
+    EXPECT_EQ(envUint(kVar, kFallback), kFallback);
+    EXPECT_EQ(envUint(kVar, 0), 0u);
+}
+
+TEST(EnvUint, ParsesPlainIntegers)
+{
+    EXPECT_EQ(parsedAs("0"), 0u);
+    EXPECT_EQ(parsedAs("1"), 1u);
+    EXPECT_EQ(parsedAs("8"), 8u);
+    EXPECT_EQ(parsedAs("1048576"), 1048576u);
+    // strtoll skips leading whitespace; that is still one integer.
+    EXPECT_EQ(parsedAs("  16"), 16u);
+    EXPECT_EQ(parsedAs("+3"), 3u);
+}
+
+TEST(EnvUint, EmptyReturnsFallback)
+{
+    EXPECT_EQ(parsedAs(""), kFallback);
+}
+
+TEST(EnvUint, GarbageReturnsFallback)
+{
+    EXPECT_EQ(parsedAs("garbage"), kFallback);
+    EXPECT_EQ(parsedAs("x4"), kFallback);
+    EXPECT_EQ(parsedAs("--2"), kFallback);
+    EXPECT_EQ(parsedAs(" "), kFallback);
+}
+
+TEST(EnvUint, TrailingJunkReturnsFallback)
+{
+    EXPECT_EQ(parsedAs("4x"), kFallback);
+    EXPECT_EQ(parsedAs("4 "), kFallback);
+    EXPECT_EQ(parsedAs("4.5"), kFallback);
+    EXPECT_EQ(parsedAs("4,096"), kFallback);
+    EXPECT_EQ(parsedAs("0x10"), kFallback);
+}
+
+TEST(EnvUint, NegativeReturnsFallback)
+{
+    EXPECT_EQ(parsedAs("-1"), kFallback);
+    EXPECT_EQ(parsedAs("-9999999999999999999999"), kFallback);
+}
+
+TEST(EnvUint, OverflowReturnsFallback)
+{
+    // Saturates strtoll (ERANGE) — must not silently cap.
+    EXPECT_EQ(parsedAs("9223372036854775808"), kFallback);
+    EXPECT_EQ(parsedAs("99999999999999999999999999"), kFallback);
+    // Largest representable value still parses.
+    EXPECT_EQ(parsedAs("9223372036854775807"),
+              9223372036854775807ull);
+}
+
+TEST(EnvString, FallbackAndCopyOut)
+{
+    ::unsetenv(kVar);
+    EXPECT_EQ(envString(kVar, "dflt"), "dflt");
+    EXPECT_FALSE(envIsSet(kVar));
+    ::setenv(kVar, "", 1);
+    EXPECT_TRUE(envIsSet(kVar));
+    EXPECT_EQ(envString(kVar, "dflt"), "");
+    ::setenv(kVar, "value", 1);
+    EXPECT_EQ(envString(kVar, "dflt"), "value");
+    ::unsetenv(kVar);
+}
+
+} // namespace
+} // namespace common
+} // namespace chason

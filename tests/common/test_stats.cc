@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <utility>
 
 namespace chason {
 namespace {
@@ -207,6 +210,65 @@ TEST(KdePdf, ExplicitBandwidth)
 TEST(Geomean, FreeFunction)
 {
     EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+}
+
+// Regression for the daemon's latency reporter: two threads reading
+// p50/p99 from a shared const instance used to race on the mutable
+// sorted_ cache. Run under TSAN by run_all.sh's concurrency leg.
+TEST(SummaryStats, ConcurrentConstReadsAreSafe)
+{
+    SummaryStats st;
+    for (int i = 999; i >= 0; --i)
+        st.add(static_cast<double>(i));
+    const SummaryStats &shared = st;
+
+    // The cache is cold when the threads start, so they also race the
+    // first lazy sort, not just steady-state reads.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    std::vector<std::thread> threads;
+    std::vector<double> p50(kThreads), p99(kThreads);
+    std::atomic<int> failures{0};
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            p50[t] = shared.percentile(50.0);
+            p99[t] = shared.percentile(99.0);
+            for (int i = 0; i < kIters; ++i) {
+                if (shared.percentile(50.0) != p50[t] ||
+                    shared.percentile(99.0) != p99[t] ||
+                    shared.min() != 0.0 || shared.max() != 999.0)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(p50[t], shared.percentile(50.0));
+        EXPECT_EQ(p99[t], shared.percentile(99.0));
+    }
+}
+
+TEST(SummaryStats, CopyAndMoveDropTheCache)
+{
+    SummaryStats st;
+    st.add({3.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(st.median(), 2.0); // builds the sorted cache
+
+    SummaryStats copy(st);
+    copy.add(10.0);
+    EXPECT_DOUBLE_EQ(copy.max(), 10.0);
+    EXPECT_DOUBLE_EQ(st.max(), 3.0);
+
+    SummaryStats assigned;
+    assigned = copy;
+    EXPECT_DOUBLE_EQ(assigned.max(), 10.0);
+
+    SummaryStats moved(std::move(copy));
+    EXPECT_DOUBLE_EQ(moved.max(), 10.0);
+    EXPECT_EQ(moved.count(), 4u);
 }
 
 } // namespace

@@ -10,10 +10,12 @@
 
 #include "core/schedule_cache.h"
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +230,88 @@ TEST(ArtifactCache, StatsJsonCarriesDiskTierCounters)
     EXPECT_NE(json.find("\"disk_misses\":1"), std::string::npos);
     EXPECT_NE(json.find("\"persisted\":1"), std::string::npos);
     EXPECT_NE(json.find("\"corrupt\":0"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+/** Delegating scheduler that counts how often schedule() really runs. */
+class CountingScheduler : public sched::Scheduler
+{
+  public:
+    CountingScheduler(const Engine &engine, std::atomic<int> &builds)
+        : sched::Scheduler(engine.scheduler().config()),
+          inner_(engine.scheduler()), builds_(builds)
+    {
+    }
+
+    std::string name() const override { return inner_.name(); }
+
+    sched::Schedule schedule(const sparse::CsrMatrix &m) const override
+    {
+        ++builds_;
+        return inner_.schedule(m);
+    }
+
+  private:
+    const sched::Scheduler &inner_;
+    std::atomic<int> &builds_;
+};
+
+/**
+ * The daemon's hot-path race: N threads miss on the same key of a
+ * disk-backed cache at once. Exactly one may build, the rest must
+ * coalesce onto it, and the write-behind persist must produce one
+ * valid (untorn) artifact.
+ */
+TEST(ArtifactCache, ConcurrentSameKeyMissBuildsAndPersistsOnce)
+{
+    const std::string dir = artifactDir("race");
+    Engine engine(Engine::Kind::Chason, smallConfig());
+    const sparse::CsrMatrix a = matrix(9);
+    std::atomic<int> builds{0};
+    const CountingScheduler counting(engine, builds);
+
+    ScheduleCache cache;
+    cache.setArtifactDir(dir);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const sched::Schedule>> results(
+        kThreads);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            // Rendezvous so the gets really overlap.
+            ++ready;
+            while (ready.load() < kThreads) {
+            }
+            results[i] = cache.get(counting, a);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(results[i], results[0]); // one shared instance
+    const ScheduleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(stats.diskMisses, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.persisted, 1u);
+
+    // The single persisted artifact is valid: a fresh cache admits it
+    // as a disk hit with zero corruption, and the loaded schedule has
+    // the same bits as the built one.
+    ScheduleCache reader;
+    reader.setArtifactDir(dir);
+    const auto loaded = reader.get(counting, a);
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    EXPECT_EQ(reader.stats().corrupt, 0u);
+    EXPECT_EQ(builds.load(), 1); // served from disk, not rebuilt
+    EXPECT_EQ(sched::scheduleArtifactBytes(*loaded),
+              sched::scheduleArtifactBytes(*results[0]));
     std::filesystem::remove_all(dir);
 }
 

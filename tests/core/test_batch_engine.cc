@@ -7,6 +7,7 @@
 
 #include "core/batch_engine.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include <gtest/gtest.h>
@@ -176,6 +177,95 @@ TEST(BatchEngine, DrainStartsAFreshBatch)
     const BatchReport second = batch.drain();
     EXPECT_EQ(second.reports.size(), 1u);
     EXPECT_EQ(second.cache.hits, 1u);
+}
+
+TEST(BatchEngine, CollectRetiresOneJobAndMatchesDrain)
+{
+    BatchOptions options;
+    options.workers = 2;
+    BatchEngine streaming(options);
+    BatchEngine batch(options);
+
+    // Reference reports through the batch path.
+    const std::size_t i0 = batch.submit(job(1, Engine::Kind::Chason, "a"));
+    const std::size_t i1 = batch.submit(job(2, Engine::Kind::Chason, "b"));
+    ASSERT_EQ(i0, 0u);
+    ASSERT_EQ(i1, 1u);
+    const BatchReport reference = batch.drain();
+
+    // Streaming path: collect out of submission order.
+    const std::size_t s0 =
+        streaming.submit(job(1, Engine::Kind::Chason, "a"));
+    const std::size_t s1 =
+        streaming.submit(job(2, Engine::Kind::Chason, "b"));
+    const SpmvReport r1 = streaming.collect(s1);
+    const SpmvReport r0 = streaming.collect(s0);
+    expectIdentical(r0, reference.reports[0]);
+    expectIdentical(r1, reference.reports[1]);
+    EXPECT_EQ(streaming.pendingJobs(), 0u);
+
+    // drain() after per-job retirement sees only uncollected jobs.
+    const std::size_t s2 =
+        streaming.submit(job(3, Engine::Kind::Chason, "c"));
+    streaming.collect(s2);
+    streaming.submit(job(4, Engine::Kind::Chason, "d"));
+    const BatchReport rest = streaming.drain();
+    ASSERT_EQ(rest.reports.size(), 1u);
+    EXPECT_EQ(rest.reports[0].dataset, "d");
+    // Indices restart after drain.
+    EXPECT_EQ(streaming.submit(job(5, Engine::Kind::Chason, "e")), 0u);
+    streaming.drain();
+}
+
+TEST(BatchEngine, CollectOfUnknownIndexDies)
+{
+    BatchOptions options;
+    options.workers = 1;
+    BatchEngine engine(options);
+    const std::size_t index =
+        engine.submit(job(1, Engine::Kind::Chason, "a"));
+    engine.collect(index);
+    EXPECT_DEATH(engine.collect(index), "already-collected");
+    EXPECT_DEATH(engine.collect(1234), "unknown");
+}
+
+// The streaming-caller regression: submitting 10k jobs while
+// collecting keeps the engine at O(window) slots — before the retire
+// path, jobs_/reports_ (and every submitted matrix) grew until
+// drain().
+TEST(BatchEngine, SteadyStateMemoryIsBoundedOver10kSubmits)
+{
+    BatchOptions options;
+    options.workers = 4;
+    BatchEngine engine(options);
+
+    // Tiny jobs; the point is slot accounting, not simulation work.
+    const sparse::CsrMatrix a = matrix(7);
+    constexpr std::size_t kSubmits = 10000;
+    constexpr std::size_t kWindow = 16;
+    std::size_t maxPending = 0;
+    std::vector<std::size_t> inFlight;
+    inFlight.reserve(kWindow);
+    for (std::size_t i = 0; i < kSubmits; ++i) {
+        BatchJob j;
+        j.dataset = "steady";
+        j.matrix = a;
+        j.config = smallConfig();
+        j.xSeed = 0x5EED + (i % 8);
+        inFlight.push_back(engine.submit(std::move(j)));
+        if (inFlight.size() == kWindow) {
+            for (const std::size_t index : inFlight)
+                engine.collect(index);
+            inFlight.clear();
+            maxPending = std::max(maxPending, engine.pendingJobs());
+        }
+    }
+    for (const std::size_t index : inFlight)
+        engine.collect(index);
+    // Steady state never accumulates beyond the in-flight window.
+    EXPECT_LE(maxPending, kWindow);
+    EXPECT_EQ(engine.pendingJobs(), 0u);
+    EXPECT_EQ(engine.drain().reports.size(), 0u);
 }
 
 TEST(BatchEngine, ParallelForSharesTheCache)

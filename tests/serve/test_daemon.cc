@@ -1,0 +1,337 @@
+/**
+ * @file
+ * In-process end-to-end tests for the serving daemon: a real Daemon on
+ * a temp Unix socket, driven through real client connections.
+ *
+ * The central contract is the ISSUE's acceptance bar: a served result
+ * is bit-identical to running the same deterministic spec directly
+ * through Engine::runScheduled — checked via the y-vector digest.
+ * Around it: typed errors in request order, per-tenant QoS isolation,
+ * a well-formed stats document (including the empty-daemon case, which
+ * must not trip the percentile-on-empty assertion), and graceful,
+ * idempotent shutdown.
+ */
+
+#include "serve/daemon.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "serve/json.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "sparse/generators.h"
+
+namespace chason {
+namespace serve {
+namespace {
+
+std::string
+socketPath(const char *name)
+{
+    return ::testing::TempDir() + "chason_" + name + ".sock";
+}
+
+/** The daemon's pipeline recomputed directly: digest of y. */
+std::string
+referenceDigest(std::uint32_t scale, std::size_t edges,
+                std::uint64_t seed, std::uint64_t xseed)
+{
+    Rng matrixRng(seed);
+    const sparse::CsrMatrix a = sparse::rmat(scale, edges, matrixRng);
+    Rng xRng(xseed);
+    const std::vector<float> x = sparse::randomVector(a.cols(), xRng);
+    const core::Engine engine(core::Engine::Kind::Chason, {});
+    const sched::Schedule schedule = engine.schedule(a);
+    std::vector<float> y;
+    engine.runScheduled(schedule, a, x, "ref", &y);
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, vectorDigest(y));
+    return hex;
+}
+
+std::string
+rmatRequest(std::uint64_t id, const char *tenant, std::uint32_t scale,
+            std::size_t edges, std::uint64_t seed, std::uint64_t xseed)
+{
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"id\":%" PRIu64
+                  ",\"tenant\":\"%s\",\"rmat\":{\"scale\":%u,"
+                  "\"edges\":%zu,\"seed\":%" PRIu64 "},\"xseed\":%" PRIu64
+                  "}\n",
+                  id, tenant, scale, edges, seed, xseed);
+    return buffer;
+}
+
+/** Read one response line and parse it; fails the test on EOF. */
+JsonValue
+readResponse(LineReader &reader)
+{
+    std::string line;
+    EXPECT_TRUE(reader.readLine(line));
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(line, v, error)) << line << ": " << error;
+    return v;
+}
+
+TEST(ServeDaemon, ServedResultsAreBitIdenticalToDirectEngineRuns)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath("serve");
+    Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const int fd = connectUnixSocket(options.socketPath, &error);
+    ASSERT_GE(fd, 0) << error;
+    LineReader reader(fd);
+
+    // Two distinct specs plus a repeat of the first (a schedule-cache
+    // hit): every answer must match the direct Engine::runScheduled
+    // digest for its spec.
+    ASSERT_TRUE(sendAll(fd, rmatRequest(1, "t", 7, 1500, 11, 101)));
+    ASSERT_TRUE(sendAll(fd, rmatRequest(2, "t", 8, 3000, 13, 103)));
+    ASSERT_TRUE(sendAll(fd, rmatRequest(3, "t", 7, 1500, 11, 101)));
+    const std::string digestA = referenceDigest(7, 1500, 11, 101);
+    const std::string digestB = referenceDigest(8, 3000, 13, 103);
+    const std::string expected[] = {digestA, digestB, digestA};
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        const JsonValue v = readResponse(reader);
+        std::uint64_t id = 0;
+        EXPECT_TRUE(v.getUint("id", id));
+        EXPECT_EQ(id, i + 1); // request order per connection
+        ASSERT_NE(v.find("ok"), nullptr);
+        EXPECT_TRUE(v.find("ok")->boolean);
+        std::string digest;
+        EXPECT_TRUE(v.getString("ydigest", digest));
+        EXPECT_EQ(digest, expected[i]);
+        const JsonValue *serviceMs = v.find("service_ms");
+        ASSERT_NE(serviceMs, nullptr);
+        EXPECT_GE(serviceMs->number, 0.0);
+    }
+
+    // Streaming retirement: answered jobs are gone from the engine.
+    EXPECT_EQ(daemon.engine().pendingJobs(), 0u);
+    ::close(fd);
+    daemon.shutdown();
+}
+
+TEST(ServeDaemon, TypedErrorsComeBackInRequestOrder)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath("errors");
+    Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const int fd = connectUnixSocket(options.socketPath, &error);
+    ASSERT_GE(fd, 0) << error;
+    LineReader reader(fd);
+
+    ASSERT_TRUE(sendAll(fd, "this is not json\n"));
+    ASSERT_TRUE(sendAll(fd, "{\"id\":5,\"dataset\":\"NOPE\"}\n"));
+    ASSERT_TRUE(sendAll(
+        fd, "{\"id\":6,\"dataset\":\"CM\",\"config\":{\"channels\":1}}"
+            "\n"));
+    ASSERT_TRUE(sendAll(fd, rmatRequest(7, "t", 7, 1500, 11, 101)));
+
+    // Malformed line: id could not parse, correlated as null.
+    JsonValue v = readResponse(reader);
+    ASSERT_NE(v.find("id"), nullptr);
+    EXPECT_TRUE(v.find("id")->isNull());
+    std::string type;
+    EXPECT_TRUE(v.getString("error", type));
+    EXPECT_EQ(type, kErrBadRequest);
+
+    // Unknown dataset: typed error, id echoed.
+    v = readResponse(reader);
+    std::uint64_t id = 0;
+    EXPECT_TRUE(v.getUint("id", id));
+    EXPECT_EQ(id, 5u);
+    EXPECT_TRUE(v.getString("error", type));
+    EXPECT_EQ(type, kErrBadRequest);
+    std::string detail;
+    EXPECT_TRUE(v.getString("detail", detail));
+    EXPECT_NE(detail.find("NOPE"), std::string::npos);
+
+    // Geometry that would be fatal in SchedConfig::validate(): the
+    // daemon answers instead of dying.
+    v = readResponse(reader);
+    EXPECT_TRUE(v.getUint("id", id));
+    EXPECT_EQ(id, 6u);
+    EXPECT_TRUE(v.getString("error", type));
+    EXPECT_EQ(type, kErrBadRequest);
+
+    // And the connection is still fully usable afterwards.
+    v = readResponse(reader);
+    EXPECT_TRUE(v.getUint("id", id));
+    EXPECT_EQ(id, 7u);
+    ASSERT_NE(v.find("ok"), nullptr);
+    EXPECT_TRUE(v.find("ok")->boolean);
+
+    ::close(fd);
+    daemon.shutdown();
+}
+
+TEST(ServeDaemon, QosThrottlesOneTenantWithoutTouchingAnother)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath("qos");
+    options.tokensPerSec = 0.001; // effectively no refill in-test
+    options.tokenBurst = 2.0;
+    Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    const int fd = connectUnixSocket(options.socketPath, &error);
+    ASSERT_GE(fd, 0) << error;
+    LineReader reader(fd);
+
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        ASSERT_TRUE(
+            sendAll(fd, rmatRequest(i, "greedy", 7, 1500, 11, 101)));
+    // A different tenant interleaved with the greedy one: its own
+    // burst is untouched.
+    ASSERT_TRUE(sendAll(fd, rmatRequest(6, "polite", 7, 1500, 11, 101)));
+
+    int ok = 0;
+    int overBudget = 0;
+    bool politeServed = false;
+    for (int i = 0; i < 6; ++i) {
+        const JsonValue v = readResponse(reader);
+        std::uint64_t id = 0;
+        ASSERT_TRUE(v.getUint("id", id));
+        ASSERT_NE(v.find("ok"), nullptr);
+        if (v.find("ok")->boolean) {
+            ++ok;
+            politeServed = politeServed || id == 6;
+        } else {
+            ++overBudget;
+            std::string type;
+            EXPECT_TRUE(v.getString("error", type));
+            EXPECT_EQ(type, kErrOverBudget);
+            EXPECT_LE(id, 5u); // only the greedy tenant is rejected
+        }
+    }
+    EXPECT_EQ(ok, 3);         // greedy burst of 2 + polite 1
+    EXPECT_EQ(overBudget, 3); // greedy requests 3..5
+    EXPECT_TRUE(politeServed);
+
+    ::close(fd);
+    daemon.shutdown();
+}
+
+TEST(ServeDaemon, StatsJsonIsWellFormedEvenWhenIdle)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath("stats");
+    options.queueCapacity = 17;
+    Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // Idle daemon: zero samples must not trip the percentile-on-empty
+    // assertion — the probe reports zeros.
+    JsonValue v;
+    ASSERT_TRUE(parseJson(daemon.statsJson(), v, error)) << error;
+    const JsonValue *latency = v.find("latency_ms");
+    ASSERT_NE(latency, nullptr);
+    std::uint64_t count = 99;
+    EXPECT_TRUE(latency->getUint("count", count));
+    EXPECT_EQ(count, 0u);
+    EXPECT_DOUBLE_EQ(latency->find("p99")->number, 0.0);
+
+    const int fd = connectUnixSocket(options.socketPath, &error);
+    ASSERT_GE(fd, 0) << error;
+    LineReader reader(fd);
+    ASSERT_TRUE(sendAll(fd, rmatRequest(1, "alpha", 7, 1500, 11, 101)));
+    ASSERT_TRUE(sendAll(fd, rmatRequest(2, "alpha", 7, 1500, 11, 101)));
+    ASSERT_TRUE(sendAll(fd, "bad\n"));
+    for (int i = 0; i < 3; ++i)
+        readResponse(reader);
+
+    ASSERT_TRUE(parseJson(daemon.statsJson(), v, error)) << error;
+    const JsonValue *requests = v.find("requests");
+    ASSERT_NE(requests, nullptr);
+    std::uint64_t received = 0, served = 0, bad = 0;
+    EXPECT_TRUE(requests->getUint("received", received));
+    EXPECT_TRUE(requests->getUint("served", served));
+    EXPECT_TRUE(requests->getUint("bad_request", bad));
+    EXPECT_EQ(received, 3u);
+    EXPECT_EQ(served, 2u);
+    EXPECT_EQ(bad, 1u);
+
+    latency = v.find("latency_ms");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_TRUE(latency->getUint("count", count));
+    EXPECT_EQ(count, 2u);
+    EXPECT_GE(latency->find("p50")->number, 0.0);
+    EXPECT_GE(latency->find("p99")->number,
+              latency->find("p50")->number);
+
+    const JsonValue *queue = v.find("queue");
+    ASSERT_NE(queue, nullptr);
+    std::uint64_t capacity = 0;
+    EXPECT_TRUE(queue->getUint("capacity", capacity));
+    EXPECT_EQ(capacity, 17u);
+
+    // Both cache tiers are visible: the repeat request hit in memory.
+    const JsonValue *cache = v.find("cache");
+    ASSERT_NE(cache, nullptr);
+    std::uint64_t hits = 0, misses = 0;
+    EXPECT_TRUE(cache->getUint("hits", hits));
+    EXPECT_TRUE(cache->getUint("misses", misses));
+    EXPECT_EQ(hits, 1u);
+    EXPECT_EQ(misses, 1u);
+    ASSERT_NE(cache->find("disk_hits"), nullptr);
+    ASSERT_NE(cache->find("disk_hit_rate"), nullptr);
+
+    const JsonValue *tenants = v.find("tenants");
+    ASSERT_NE(tenants, nullptr);
+    const JsonValue *alpha = tenants->find("alpha");
+    ASSERT_NE(alpha, nullptr);
+    std::uint64_t alphaServed = 0;
+    EXPECT_TRUE(alpha->getUint("served", alphaServed));
+    EXPECT_EQ(alphaServed, 2u);
+
+    ::close(fd);
+    daemon.shutdown();
+}
+
+TEST(ServeDaemon, ShutdownIsGracefulAndIdempotent)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath("shutdown");
+    auto daemon = std::make_unique<Daemon>(options);
+    std::string error;
+    ASSERT_TRUE(daemon->start(&error)) << error;
+
+    const int fd = connectUnixSocket(options.socketPath, &error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(sendAll(fd, rmatRequest(1, "t", 7, 1500, 11, 101)));
+    LineReader reader(fd);
+    const JsonValue v = readResponse(reader);
+    ASSERT_NE(v.find("ok"), nullptr);
+    EXPECT_TRUE(v.find("ok")->boolean);
+    daemon->shutdown();
+    ::close(fd);
+
+    daemon->shutdown(); // idempotent
+    // The socket file is gone; a new connect must fail.
+    EXPECT_LT(connectUnixSocket(options.socketPath, &error), 0);
+    daemon.reset(); // destructor after explicit shutdown: no-op
+}
+
+} // namespace
+} // namespace serve
+} // namespace chason
